@@ -1,0 +1,27 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment exactly once (``pedantic`` with one
+round): the experiments are deterministic simulations, so repetition only
+wastes wall-clock — the quantity of interest is the experiment's *result*,
+which each benchmark prints in the same row/series format as the paper's
+figure and which EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

@@ -1,0 +1,102 @@
+"""Ablations of Prosper's design choices (DESIGN.md design-decision index).
+
+Not a paper figure — these quantify the decisions the paper makes by
+argument: the Accumulate-and-Apply allocation policy, the 16-entry lookup
+table, the tracker sharing the maximum active stack region with the OS, and
+the choice of PTE dirty bits over write-protection for the page baseline.
+"""
+
+from collections import defaultdict
+
+from repro.analysis.report import render_table
+from repro.experiments import ablations
+
+
+def test_allocation_policy(benchmark):
+    cells = benchmark.pedantic(
+        ablations.allocation_policy_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            "Ablation: entry-allocation policy (bitmap memory traffic)",
+            ["workload", "policy", "loads", "stores", "total"],
+            [
+                [c.workload, c.policy, c.bitmap_loads, c.bitmap_stores, c.memory_ops]
+                for c in cells
+            ],
+        )
+    )
+    # Both policies must produce traffic of the same order; the choice is
+    # about allocation latency, not bandwidth.
+    by_key = {(c.workload, c.policy): c.memory_ops for c in cells}
+    for workload in {c.workload for c in cells}:
+        aa = by_key[(workload, "accumulate-and-apply")]
+        lu = by_key[(workload, "load-and-update")]
+        assert 0.3 < aa / lu < 3.0
+
+
+def test_table_size(benchmark):
+    cells = benchmark.pedantic(ablations.table_size_ablation, rounds=1, iterations=1)
+    table = defaultdict(dict)
+    for c in cells:
+        table[c.workload][c.entries] = c.memory_ops
+    print()
+    print(
+        render_table(
+            "Ablation: lookup-table size (total bitmap memory ops)",
+            ["workload"] + [str(s) for s in (4, 8, 16, 32, 64)],
+            [
+                [w] + [table[w][s] for s in (4, 8, 16, 32, 64)]
+                for w in sorted(table)
+            ],
+        )
+    )
+    # More entries -> more coalescing -> never more traffic.
+    for row in table.values():
+        assert row[64] <= row[4]
+
+
+def test_active_region_bounding(benchmark):
+    cells = benchmark.pedantic(
+        ablations.active_region_bounding_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            "Ablation: bounding bitmap inspection to the active stack region",
+            ["workload", "bounded cyc/ckpt", "unbounded cyc/ckpt", "speedup"],
+            [
+                [
+                    c.workload,
+                    f"{c.bounded_cycles:.0f}",
+                    f"{c.unbounded_cycles:.0f}",
+                    f"{c.speedup:.2f}x",
+                ]
+                for c in cells
+            ],
+        )
+    )
+    for c in cells:
+        assert c.speedup >= 1.0
+
+
+def test_page_tracking_flavours(benchmark):
+    cells = benchmark.pedantic(
+        ablations.page_tracking_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            "Ablation: PTE dirty bits (LDT) vs write-protection faults",
+            ["workload", "mechanism", "normalized time", "faults"],
+            [
+                [c.workload, c.mechanism, f"{c.normalized_time:.3f}", c.faults]
+                for c in cells
+            ],
+        )
+    )
+    # Write protection is never cheaper than the dirty-bit walk (LDT claim).
+    by_key = {(c.workload, c.mechanism): c.normalized_time for c in cells}
+    for workload in {c.workload for c in cells}:
+        assert by_key[(workload, "writeprotect")] >= by_key[(workload, "dirtybit")]

@@ -1,0 +1,26 @@
+"""Context-switch overhead of Prosper (Section V study).
+
+A two-thread micro-benchmark alternates on one CPU; each slice performs
+random writes to its own stack.  The measured quantity is the extra
+save/restore work the scheduler does for the Prosper tracker state.
+Paper shape: ~870 cycles of additional overhead per switch on average.
+"""
+
+from repro.experiments import overhead
+
+
+def test_context_switch_overhead(benchmark):
+    result = benchmark.pedantic(
+        overhead.context_switch_overhead,
+        kwargs={"switches": 400, "writes_per_slice": 400},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Context-switch Prosper overhead")
+    print("===============================")
+    print(f"switches:                 {result.switches}")
+    print(f"mean prosper cycles:      {result.mean_prosper_cycles:.0f}")
+    print(f"total prosper cycles:     {result.total_prosper_cycles}")
+    print("paper reference:          ~870 cycles/switch")
+    assert 300 < result.mean_prosper_cycles < 2500

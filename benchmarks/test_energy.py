@@ -1,0 +1,32 @@
+"""Energy and area of the Prosper lookup table (Section V).
+
+Accumulates lookup-table read/write access counts over a gapbs_pr run and
+converts them to energy with the paper's CACTI-P 7 nm numbers.
+Paper reference values: 0.000773194 nJ/read, 0.000128375 nJ/write,
+0.01067596 mW leakage, 0.000704786 mm^2 area.
+"""
+
+import pytest
+
+from repro.experiments import overhead
+
+
+def test_energy_report(benchmark):
+    report = benchmark.pedantic(
+        overhead.energy_report,
+        kwargs={"target_ops": 60_000},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print("Prosper lookup-table energy (CACTI-P 7nm)")
+    print("=========================================")
+    print(f"table reads:          {report.reads}")
+    print(f"table writes:         {report.writes}")
+    print(f"dynamic read energy:  {report.dynamic_read_nj:.4f} nJ")
+    print(f"dynamic write energy: {report.dynamic_write_nj:.4f} nJ")
+    print(f"leakage energy:       {report.leakage_nj:.4f} nJ")
+    print(f"total energy:         {report.total_nj:.4f} nJ")
+    print(f"area:                 {report.area_mm2} mm^2")
+    assert report.area_mm2 == pytest.approx(0.000704786)
+    assert report.total_nj > 0

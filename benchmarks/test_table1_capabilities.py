@@ -1,0 +1,61 @@
+"""Table I — capability matrix of the memory-persistence mechanisms.
+
+Regenerates the comparison table from each mechanism's declared
+capabilities: process persistence, compiler independence, SP awareness,
+and whether the stack may stay in DRAM.
+"""
+
+from repro.analysis.report import render_table
+from repro.persistence import (
+    DirtyBitPersistence,
+    FlushPersistence,
+    ProsperPersistence,
+    RedoLogPersistence,
+    RomulusPersistence,
+    SspPersistence,
+    UndoLogPersistence,
+    WriteProtectPersistence,
+)
+
+MECHANISMS = [
+    FlushPersistence,
+    UndoLogPersistence,
+    RedoLogPersistence,
+    RomulusPersistence,
+    SspPersistence,
+    WriteProtectPersistence,
+    DirtyBitPersistence,
+    ProsperPersistence,
+]
+
+
+def build_matrix():
+    rows = []
+    for cls in MECHANISMS:
+        rows.append([cls.name] + list(cls.capabilities.as_row()))
+    return rows
+
+
+def test_table1_capabilities(benchmark):
+    rows = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            "Table I: mechanism capability matrix",
+            [
+                "mechanism",
+                "process persistence",
+                "no compiler support",
+                "SP aware",
+                "stack in DRAM",
+            ],
+            rows,
+        )
+    )
+    by_name = {r[0]: tuple(r[1:]) for r in rows}
+    # Prosper is the only row with every capability.
+    assert by_name["prosper"] == ("yes", "yes", "yes", "yes")
+    # The checkpoint family allows the stack in DRAM; NVM-resident ones don't.
+    assert by_name["dirtybit"][3] == "yes"
+    assert by_name["ssp"][3] == "no"
+    assert by_name["flush"][3] == "no"

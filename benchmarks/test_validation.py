@@ -1,0 +1,36 @@
+"""Seed-robustness validation of the headline shapes.
+
+Runs the load-bearing paper-shape checks (Prosper best, Romulus worst, SSP
+interval trend, Figure 9 combination ordering, Figure 4 reductions,
+Figure 12 overhead bound, Figure 13 HWM divergence) across three seeds and
+reports a pass matrix — evidence that the reproduction's orderings are not
+one random draw.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.validation import summarize, validate_shapes
+
+
+def test_shape_validation_across_seeds(benchmark):
+    results = benchmark.pedantic(
+        validate_shapes,
+        kwargs={"seeds": (42, 7, 1234), "target_ops": 25_000},
+        rounds=1,
+        iterations=1,
+    )
+    summary = summarize(results)
+    print()
+    print(
+        render_table(
+            "Shape validation across seeds {42, 7, 1234}",
+            ["check", "passes", "total"],
+            [[name, p, t] for name, (p, t) in sorted(summary.items())],
+        )
+    )
+    failures = [r for r in results if not r.passed]
+    for failure in failures[:10]:
+        print(f"  FAILED {failure.name} seed={failure.seed}: {failure.detail}")
+    # Every check must pass at every seed and workload.
+    total_pass = sum(p for p, _ in summary.values())
+    total = sum(t for _, t in summary.values())
+    assert total_pass == total, f"{total - total_pass} shape checks failed"

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Adaptive tracking: the OS re-tunes Prosper per workload behaviour.
+
+The paper leaves two adaptation loops as future work; this example runs
+both implementations:
+
+1. **Granularity adaptation** — a sparse writer keeps 8-byte tracking,
+   while a streaming writer is detected as dense and moved along the
+   granularity ladder into the page-level Dirtybit fallback.
+2. **Watermark adaptation** — starting from HWM=20, the controller walks
+   mcf's table toward a small HWM and SSSP's toward a large one, matching
+   the opposing trends of Figure 13.
+
+Run:  python examples/adaptive_tracking.py
+"""
+
+from repro import AdaptiveProsperPersistence, ProsperPersistence, run_mechanism
+from repro.analysis.report import format_bytes, render_table
+from repro.experiments.extensions import adaptive_watermark_experiment
+from repro.experiments.runner import vanilla_cycles
+from repro.workloads import sparse_workload, stream_workload
+
+
+def granularity_demo() -> None:
+    rows = []
+    for trace in (
+        sparse_workload(pages=48, rounds=100),
+        stream_workload(array_bytes=96 * 1024, passes=3),
+    ):
+        base = vanilla_cycles(trace)
+        for label, factory in (
+            ("fixed 8B", ProsperPersistence),
+            ("adaptive", AdaptiveProsperPersistence),
+        ):
+            mech = factory()
+            result = run_mechanism(trace, mech, 10.0, baseline_cycles=base)
+            final = (
+                mech.current_granularity
+                if isinstance(mech, AdaptiveProsperPersistence)
+                else 8
+            )
+            rows.append(
+                [
+                    trace.name,
+                    label,
+                    f"{result.normalized_time:.3f}",
+                    format_bytes(mech.stats.mean_checkpoint_bytes),
+                    "page" if final == 4096 else f"{final}B",
+                ]
+            )
+    print(
+        render_table(
+            "Granularity adaptation",
+            ["workload", "tracking", "norm. time", "mean ckpt", "final granularity"],
+            rows,
+        )
+    )
+
+
+def watermark_demo() -> None:
+    results = adaptive_watermark_experiment(target_ops=30_000)
+    print()
+    print(
+        render_table(
+            "HWM hill-climb from a common start of 20",
+            ["workload", "final HWM", "first steps"],
+            [
+                [r.workload, r.final_hwm, " -> ".join(map(str, r.history[:8]))]
+                for r in results
+            ],
+        )
+    )
+    print(
+        "\nmcf (scattered temporaries) walks DOWN; SSSP (spatial locality)"
+        " walks UP — the controller discovers Figure 13's per-workload"
+        " optima automatically."
+    )
+
+
+if __name__ == "__main__":
+    granularity_demo()
+    watermark_demo()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Tune Prosper's tracking granularity per stack usage pattern (Figure 10).
+
+Runs three contrasting micro-benchmarks — Sparse (best case for fine
+tracking), Random (average), Stream (worst) — under Prosper at 8-128 byte
+granularity and the page-level Dirtybit baseline, showing how checkpoint
+size and time move with granularity.  The paper's takeaway: granularity
+should be tuned (or Prosper disabled in favour of Dirtybit) per workload.
+
+Run:  python examples/granularity_tuning.py
+"""
+
+from repro import DirtyBitPersistence, ProsperPersistence, TrackerConfig, run_mechanism
+from repro.analysis.report import format_bytes, render_table
+from repro.experiments.runner import vanilla_cycles
+from repro.workloads import random_workload, sparse_workload, stream_workload
+
+GRANULARITIES = (8, 16, 32, 64, 128)
+
+
+def main() -> None:
+    workloads = [
+        sparse_workload(pages=48, rounds=80),
+        random_workload(array_bytes=128 * 1024, num_writes=25_000),
+        stream_workload(array_bytes=96 * 1024, passes=2),
+    ]
+
+    rows = []
+    for trace in workloads:
+        base = vanilla_cycles(trace)
+
+        dirtybit = DirtyBitPersistence()
+        run_mechanism(trace, dirtybit, 10.0, baseline_cycles=base)
+        db_time = dirtybit.stats.mean_checkpoint_cycles or 1.0
+        rows.append(
+            [trace.name, "page", format_bytes(dirtybit.stats.mean_checkpoint_bytes), "1.000"]
+        )
+
+        for granularity in GRANULARITIES:
+            mech = ProsperPersistence(TrackerConfig().with_granularity(granularity))
+            run_mechanism(trace, mech, 10.0, baseline_cycles=base)
+            rows.append(
+                [
+                    trace.name,
+                    f"{granularity}B",
+                    format_bytes(mech.stats.mean_checkpoint_bytes),
+                    f"{mech.stats.mean_checkpoint_cycles / db_time:.3f}",
+                ]
+            )
+
+    print(
+        render_table(
+            "Prosper granularity sweep (checkpoint time relative to Dirtybit)",
+            ["workload", "granularity", "mean ckpt size", "ckpt time vs dirtybit"],
+            rows,
+        )
+    )
+    print(
+        "\nShape to expect (paper Figure 10): sparse collapses to a few bytes"
+        " per page (~22x faster checkpoints); stream gains nothing from fine"
+        " tracking; random sits in between."
+    )
+
+
+if __name__ == "__main__":
+    main()

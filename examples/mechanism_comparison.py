@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Compare stack-persistence mechanisms on one workload (Figure 8 style).
+
+Runs a memcached-like workload under every mechanism the paper evaluates —
+Prosper, page-level Dirtybit, SSP at three consolidation intervals, and
+Romulus — and prints execution time normalized to no persistence, plus each
+mechanism's checkpoint footprint.
+
+Run:  python examples/mechanism_comparison.py [target_ops]
+"""
+
+import sys
+
+from repro import (
+    DirtyBitPersistence,
+    ProsperPersistence,
+    RomulusPersistence,
+    SspPersistence,
+    run_mechanism,
+)
+from repro.analysis.report import format_bytes, render_table
+from repro.experiments.runner import vanilla_cycles
+from repro.workloads import ycsb_mem
+
+
+def main() -> None:
+    target_ops = int(sys.argv[1]) if len(sys.argv) > 1 else 50_000
+    trace = ycsb_mem(target_ops=target_ops)
+    base = vanilla_cycles(trace)
+
+    mechanisms = [
+        ("prosper", ProsperPersistence()),
+        ("dirtybit", DirtyBitPersistence()),
+        ("ssp-10us", SspPersistence(consolidation_interval_us=10)),
+        ("ssp-100us", SspPersistence(consolidation_interval_us=100)),
+        ("ssp-1ms", SspPersistence(consolidation_interval_us=1000)),
+        ("romulus", RomulusPersistence()),
+    ]
+
+    rows = []
+    for label, mechanism in mechanisms:
+        result = run_mechanism(
+            trace, mechanism, interval_paper_ms=10.0, baseline_cycles=base
+        )
+        rows.append(
+            [
+                label,
+                f"{result.normalized_time:.3f}x",
+                "DRAM" if not mechanism.region_in_nvm else "NVM",
+                format_bytes(mechanism.stats.mean_checkpoint_bytes),
+                mechanism.stats.intervals,
+            ]
+        )
+
+    print(
+        render_table(
+            f"Stack persistence on {trace.name} ({len(trace)} ops)",
+            ["mechanism", "norm. time", "stack in", "mean ckpt", "intervals"],
+            rows,
+        )
+    )
+    print(
+        "\nShape to expect (paper Figure 8): prosper < dirtybit < ssp-1ms"
+        " < ssp-100us < ssp-10us, romulus worst."
+    )
+
+
+if __name__ == "__main__":
+    main()

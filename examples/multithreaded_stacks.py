@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-threading support: per-thread stacks, context switches, and
+inter-thread stack writes (Section III-C).
+
+Two persistent threads alternate on one logical CPU.  The scheduler flushes
+and saves the Prosper tracker state for the outgoing thread and restores it
+for the incoming one; the example reports the measured per-switch overhead
+(paper: ~870 cycles).  Finally, one thread writes into the *other* thread's
+stack — the page-permission scheme faults the write into the OS, which
+records it in the victim's bitmap so no checkpoint misses it.
+
+Run:  python examples/multithreaded_stacks.py
+"""
+
+import numpy as np
+
+from repro.core.tracker import ProsperTracker
+from repro.kernel.process import Process
+from repro.kernel.scheduler import Scheduler
+
+
+def main() -> None:
+    proc = Process(name="mt-demo")
+    t1 = proc.spawn_thread(stack_bytes=512 * 1024, persistent=True)
+    t2 = proc.spawn_thread(stack_bytes=512 * 1024, persistent=True)
+    tracker = ProsperTracker(proc.tracker_config)
+    scheduler = Scheduler(tracker)
+    rng = np.random.default_rng(7)
+
+    print(f"thread 1 stack: [{t1.stack.start:#x}, {t1.stack.end:#x})")
+    print(f"thread 2 stack: [{t2.stack.start:#x}, {t2.stack.end:#x})")
+
+    # Alternate the two threads, each writing its own stack.
+    for i in range(100):
+        thread = (t1, t2)[i % 2]
+        scheduler.switch_to(thread)
+        offsets = rng.integers(0, thread.stack.size // 8, size=200) * 8
+        for off in offsets:
+            tracker.observe_store(thread.stack.start + int(off), 8)
+
+    stats = scheduler.stats
+    print(f"\ncontext switches:              {stats.switches}")
+    print(f"mean Prosper switch overhead:  {stats.mean_prosper_overhead:.0f} cycles"
+          "  (paper: ~870)")
+
+    # Flush the current thread so both bitmaps are up to date.
+    tracker.request_flush()
+    tracker.poll_quiescent()
+    print(f"thread 1 dirty granules:       {t1.bitmap.dirty_granule_count()}")
+    print(f"thread 2 dirty granules:       {t2.bitmap.dirty_granule_count()}")
+
+    # Inter-thread stack write: t2 writes into t1's stack.  The per-thread
+    # page tables map t1's stack read-only in t2's view, so the write
+    # faults and the OS records it against t1's bitmap.
+    victim_address = t1.stack.start + 0x1230
+    proc.page_table.map_range(t1.stack)
+    view = proc.build_thread_view(t2.tid)
+    assert not view.entries[victim_address // 4096].writable
+    handled = proc.handle_cross_thread_write(t2.tid, victim_address, 8)
+    print(f"\ncross-thread write to {victim_address:#x}: "
+          f"intercepted={handled}, "
+          f"recorded in t1 bitmap={t1.bitmap.is_dirty(victim_address)}")
+    assert handled and t1.bitmap.is_dirty(victim_address)
+    del view
+
+
+if __name__ == "__main__":
+    main()

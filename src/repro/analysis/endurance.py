@@ -1,0 +1,91 @@
+"""NVM write-traffic and endurance accounting.
+
+One of the paper's arguments for checkpoint-based stack persistence is that
+"maintaining the stack in NVM leads to performance and endurance issues":
+per-store mechanisms push every stack write (plus logs/shadow copies) into
+the NVM cell array, while checkpointing coalesces an interval's writes into
+one pass over the dirty bytes.  This module turns the NVM device counters
+of a run into comparable endurance metrics:
+
+* total NVM write volume (bytes) and write amplification relative to the
+  application's unique dirty footprint;
+* a crude lifetime estimate: years until the busiest region reaches the
+  cell endurance limit at the observed write rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CPU_FREQ_HZ
+
+#: Conservative PCM cell endurance (writes per cell) used for estimates.
+DEFAULT_CELL_ENDURANCE = 1e8
+
+
+@dataclass(frozen=True)
+class EnduranceReport:
+    """NVM wear profile of one run."""
+
+    mechanism: str
+    nvm_write_bytes: int
+    nvm_writes: int
+    app_dirty_bytes: int
+    elapsed_cycles: int
+    cell_endurance: float = DEFAULT_CELL_ENDURANCE
+
+    @property
+    def write_amplification(self) -> float:
+        """NVM bytes written per unique application-dirty byte."""
+        if self.app_dirty_bytes == 0:
+            return 0.0 if self.nvm_write_bytes == 0 else float("inf")
+        return self.nvm_write_bytes / self.app_dirty_bytes
+
+    @property
+    def write_bandwidth_mbps(self) -> float:
+        """Sustained NVM write bandwidth over the run (MB/s)."""
+        if self.elapsed_cycles == 0:
+            return 0.0
+        seconds = self.elapsed_cycles / CPU_FREQ_HZ
+        return self.nvm_write_bytes / seconds / 1e6
+
+    def lifetime_years(self, hot_region_bytes: int = 64 * 1024) -> float:
+        """Years until a *hot_region_bytes* region wears out.
+
+        Assumes the observed write volume concentrates uniformly on the hot
+        region (pessimistic, no wear-leveling) and the run's write rate is
+        sustained continuously.
+        """
+        if self.nvm_write_bytes == 0 or self.elapsed_cycles == 0:
+            return float("inf")
+        seconds = self.elapsed_cycles / CPU_FREQ_HZ
+        writes_per_byte_per_second = (
+            self.nvm_write_bytes / hot_region_bytes / seconds
+        )
+        if writes_per_byte_per_second == 0:
+            return float("inf")
+        lifetime_seconds = self.cell_endurance / writes_per_byte_per_second
+        return lifetime_seconds / (365.25 * 24 * 3600)
+
+
+def endurance_report(
+    mechanism_name: str,
+    hierarchy,
+    app_dirty_bytes: int,
+    elapsed_cycles: int,
+    cell_endurance: float = DEFAULT_CELL_ENDURANCE,
+) -> EnduranceReport:
+    """Build a report from a finished run's memory hierarchy."""
+    nvm = hierarchy.nvm
+    if nvm is None:
+        return EnduranceReport(
+            mechanism_name, 0, 0, app_dirty_bytes, elapsed_cycles, cell_endurance
+        )
+    return EnduranceReport(
+        mechanism=mechanism_name,
+        nvm_write_bytes=nvm.stats.write_bytes,
+        nvm_writes=nvm.stats.writes,
+        app_dirty_bytes=app_dirty_bytes,
+        elapsed_cycles=elapsed_cycles,
+        cell_endurance=cell_endurance,
+    )

@@ -1,0 +1,65 @@
+"""Numeric helpers for experiment results."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.persistence.base import MechanismStats
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; empty input yields 0.0, any zero yields 0.0."""
+    vals = list(values)
+    if not vals:
+        return 0.0
+    if any(v <= 0 for v in vals):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def speedup(baseline: float, measured: float) -> float:
+    """Baseline-over-measured ratio (>1 means *measured* is faster)."""
+    if measured <= 0:
+        raise ValueError("measured time must be positive")
+    return baseline / measured
+
+
+def normalized_times(
+    results: Mapping[str, float], baseline_key: str
+) -> dict[str, float]:
+    """Normalize a {label: cycles} mapping to the baseline entry."""
+    base = results[baseline_key]
+    if base <= 0:
+        raise ValueError("baseline time must be positive")
+    return {k: v / base for k, v in results.items()}
+
+
+@dataclass(frozen=True)
+class CheckpointSummary:
+    """Aggregate view of a mechanism's checkpoint activity."""
+
+    intervals: int
+    mean_bytes: float
+    total_bytes: int
+    mean_cycles: float
+    total_cycles: int
+
+    @property
+    def ns_per_byte(self) -> float:
+        """Per-byte checkpoint time at 3 GHz (the Figure 11 ratio)."""
+        if self.total_bytes == 0:
+            return float("inf") if self.total_cycles else 0.0
+        return self.total_cycles / 3.0 / self.total_bytes  # cycles@3GHz -> ns
+
+
+def summarize_checkpoints(stats: MechanismStats) -> CheckpointSummary:
+    """Condense a mechanism's per-interval lists into a summary."""
+    return CheckpointSummary(
+        intervals=len(stats.checkpoint_bytes),
+        mean_bytes=stats.mean_checkpoint_bytes,
+        total_bytes=stats.total_checkpoint_bytes,
+        mean_cycles=stats.mean_checkpoint_cycles,
+        total_cycles=stats.total_checkpoint_cycles,
+    )

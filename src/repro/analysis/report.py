@@ -1,0 +1,50 @@
+"""Plain-text rendering of tables and series for the benchmark harness.
+
+The paper's artifact emits formatted text files that the plots are built
+from; the benchmarks here do the same, printing rows the EXPERIMENTS.md
+records were read off.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned plain-text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: Mapping[str, Mapping[str, float]],
+                  value_format: str = "{:.3f}") -> str:
+    """Render a {series: {x: y}} mapping, one series per block."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        for x, y in points.items():
+            lines.append(f"  {x}: {value_format.format(y)}")
+    return "\n".join(lines)
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (KiB/MiB with two decimals)."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.2f}{unit}" if unit != "B" else f"{int(value)}B"
+        value /= 1024
+    return f"{value:.2f}GiB"  # pragma: no cover - unreachable

@@ -1,0 +1,324 @@
+"""Command-line interface: regenerate paper figures from the shell.
+
+Usage::
+
+    python -m repro list                 # what can be run
+    python -m repro fig8                 # one figure's table to stdout
+    python -m repro all --ops 50000      # every figure, sequentially
+    python -m repro fig10 --out results/ # also write the table to a file
+
+Each command drives the corresponding entry point in
+:mod:`repro.experiments` and prints the same plain-text table the
+benchmark for that figure prints.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import defaultdict
+from pathlib import Path
+from typing import Callable
+
+from repro.analysis.report import format_bytes, render_table
+from repro.experiments import ablations, evaluation, extensions, motivation, overhead
+
+
+def _fig1(ops: int) -> str:
+    rows = motivation.fig1_stack_fraction(target_ops=ops)
+    return render_table(
+        "Figure 1: stack share of memory operations",
+        ["workload", "stack op fraction", "stack write fraction"],
+        [[r.workload, f"{r.stack_fraction:.3f}", f"{r.stack_write_fraction:.3f}"] for r in rows],
+    )
+
+
+def _fig2(ops: int) -> str:
+    results = motivation.fig2_beyond_final_sp(num_intervals=100, target_ops=ops)
+    return render_table(
+        "Figure 2: stack writes beyond interval-final SP",
+        ["workload", "stack writes", "beyond final SP", "fraction"],
+        [[r.workload, r.total_writes, r.total_beyond, f"{r.beyond_fraction:.3f}"] for r in results],
+    )
+
+
+def _fig3(ops: int) -> str:
+    cells = motivation.fig3_sp_awareness(target_ops=min(ops, 60_000))
+    return render_table(
+        "Figure 3: flush/undo/redo +/- SP awareness (normalized time)",
+        ["workload", "mechanism", "SP aware", "normalized"],
+        [[c.workload, c.mechanism, "yes" if c.sp_aware else "no", f"{c.normalized_time:.1f}x"] for c in cells],
+    )
+
+
+def _fig4(ops: int) -> str:
+    rows = motivation.fig4_copy_size(target_ops=ops)
+    return render_table(
+        "Figure 4: copy size, page vs 8-byte tracking",
+        ["workload", "page", "8-byte", "reduction"],
+        [
+            [r.workload, format_bytes(r.page_bytes_per_interval),
+             format_bytes(r.byte_bytes_per_interval), f"{r.reduction_factor:.1f}x"]
+            for r in rows
+        ],
+    )
+
+
+def _fig8(ops: int) -> str:
+    results = evaluation.fig8_stack_persistence(target_ops=ops)
+    table = defaultdict(dict)
+    for r in results:
+        table[r.trace_name][r.mechanism_name] = r.normalized_time
+    mechanisms = sorted({r.mechanism_name for r in results})
+    return render_table(
+        "Figure 8: stack persistence (normalized time)",
+        ["workload"] + mechanisms,
+        [[w] + [f"{table[w][m]:.2f}" for m in mechanisms] for w in sorted(table)],
+    )
+
+
+def _fig9(ops: int) -> str:
+    cells = evaluation.fig9_memory_persistence(target_ops=ops)
+    return render_table(
+        "Figure 9: memory-state persistence (normalized time)",
+        ["workload", "ssp interval (us)", "combination", "normalized"],
+        [[c.workload, f"{c.ssp_interval_us:g}", c.combination, f"{c.normalized_time:.2f}"] for c in cells],
+    )
+
+
+def _fig10(ops: int) -> str:
+    cells = evaluation.fig10_usage_patterns(scale=max(0.2, min(1.0, ops / 100_000)))
+    return render_table(
+        "Figure 10: usage patterns x granularity",
+        ["workload", "granularity", "mean ckpt size", "time vs dirtybit"],
+        [
+            [c.workload, str(c.granularity), format_bytes(c.mean_checkpoint_bytes),
+             f"{c.checkpoint_time_vs_dirtybit:.3f}"]
+            for c in cells
+        ],
+    )
+
+
+def _fig11(ops: int) -> str:
+    cells = evaluation.fig11_interval_sweep()
+    return render_table(
+        "Figure 11: checkpoint size vs interval",
+        ["workload", "interval (ms)", "mean ckpt size", "ns/byte"],
+        [
+            [c.workload, f"{c.interval_paper_ms:g}",
+             format_bytes(c.mean_checkpoint_bytes), f"{c.ns_per_byte:.2f}"]
+            for c in cells
+        ],
+    )
+
+
+def _fig12(ops: int) -> str:
+    cells = overhead.fig12_tracking_overhead(target_ops=ops)
+    return render_table(
+        "Figure 12: tracking overhead (user-IPC speedup)",
+        ["workload", "granularity", "speedup", "overhead %"],
+        [[c.workload, f"{c.granularity}B", f"{c.speedup:.4f}", f"{c.overhead_percent:.2f}"] for c in cells],
+    )
+
+
+def _fig13(ops: int) -> str:
+    cells = overhead.fig13_watermark_sensitivity(target_ops=ops)
+    return render_table(
+        "Figure 13: HWM/LWM sensitivity (bitmap loads/stores)",
+        ["workload", "HWM", "LWM", "loads", "stores"],
+        [[c.workload, c.hwm, c.lwm, c.bitmap_loads, c.bitmap_stores] for c in cells],
+    )
+
+
+def _ctx(ops: int) -> str:
+    result = overhead.context_switch_overhead()
+    return render_table(
+        "Context-switch overhead (paper: ~870 cycles)",
+        ["switches", "mean prosper cycles"],
+        [[result.switches, f"{result.mean_prosper_cycles:.0f}"]],
+    )
+
+
+def _energy(ops: int) -> str:
+    report = overhead.energy_report(target_ops=min(ops, 60_000))
+    return render_table(
+        "Lookup-table energy (CACTI-P 7nm)",
+        ["reads", "writes", "dynamic nJ", "leakage nJ", "area mm^2"],
+        [[report.reads, report.writes, f"{report.dynamic_nj:.4f}",
+          f"{report.leakage_nj:.4f}", report.area_mm2]],
+    )
+
+
+def _ablations_cmd(ops: int) -> str:
+    parts = []
+    policy = ablations.allocation_policy_ablation(target_ops=ops)
+    parts.append(render_table(
+        "Ablation: allocation policy (bitmap memory ops)",
+        ["workload", "policy", "total ops"],
+        [[c.workload, c.policy, c.memory_ops] for c in policy],
+    ))
+    bounding = ablations.active_region_bounding_ablation()
+    parts.append(render_table(
+        "Ablation: active-region bounding",
+        ["workload", "speedup"],
+        [[c.workload, f"{c.speedup:.2f}x"] for c in bounding],
+    ))
+    return "\n\n".join(parts)
+
+
+def _endurance_cmd(ops: int) -> str:
+    from repro.analysis.endurance import endurance_report
+    from repro.experiments.runner import (
+        fixed_cost_scale_for,
+        make_engine,
+        scaled_interval_cycles,
+        vanilla_cycles,
+    )
+    from repro.persistence.dirtybit import DirtyBitPersistence
+    from repro.persistence.logging import FlushPersistence
+    from repro.persistence.prosper import ProsperPersistence
+    from repro.workloads.apps import gapbs_pr
+
+    trace = gapbs_pr(min(ops, 50_000))
+    base = vanilla_cycles(trace)
+    scale = fixed_cost_scale_for(base)
+    interval = scaled_interval_cycles(base, 10.0)
+    dirty = sum(trace.copy_sizes(1, 8))
+    rows = []
+    for mech, label in (
+        (ProsperPersistence(), "prosper"),
+        (DirtyBitPersistence(), "dirtybit"),
+        (FlushPersistence(), "flush"),
+    ):
+        engine = make_engine(trace, mech, fixed_cost_scale=scale)
+        engine.run(trace.ops, interval_cycles=interval)
+        r = endurance_report(label, engine.hierarchy, dirty, round(base / scale))
+        rows.append([label, r.nvm_write_bytes, f"{r.write_amplification:.1f}x"])
+    return render_table(
+        "NVM endurance: write traffic by mechanism (gapbs_pr)",
+        ["mechanism", "NVM bytes written", "amplification"],
+        rows,
+    )
+
+
+def _extensions_cmd(ops: int) -> str:
+    parts = []
+    heap = extensions.prosper_heap_experiment(target_ops=ops)
+    parts.append(render_table(
+        "Extension: Prosper on the heap (normalized time)",
+        ["workload", "heap mechanism", "normalized"],
+        [[c.workload, c.heap_mechanism, f"{c.normalized_time:.2f}"] for c in heap],
+    ))
+    adaptive = extensions.adaptive_granularity_experiment()
+    parts.append(render_table(
+        "Extension: adaptive granularity",
+        ["workload", "mechanism", "normalized", "mean ckpt", "final granularity"],
+        [
+            [c.workload, c.mechanism, f"{c.normalized_time:.3f}",
+             format_bytes(c.mean_checkpoint_bytes), c.final_granularity]
+            for c in adaptive
+        ],
+    ))
+    return "\n\n".join(parts)
+
+
+#: Raw dataclass rows per command, for --csv export (figures with a
+#: natural tabular form).
+RAW_ROWS: dict[str, Callable[[int], list]] = {
+    "fig1": lambda ops: motivation.fig1_stack_fraction(target_ops=ops),
+    "fig4": lambda ops: motivation.fig4_copy_size(target_ops=ops),
+    "fig8": lambda ops: [
+        {
+            "workload": r.trace_name,
+            "mechanism": r.mechanism_name,
+            "normalized_time": r.normalized_time,
+        }
+        for r in evaluation.fig8_stack_persistence(target_ops=ops)
+    ],
+    "fig9": lambda ops: evaluation.fig9_memory_persistence(target_ops=ops),
+    "fig10": lambda ops: evaluation.fig10_usage_patterns(
+        scale=max(0.2, min(1.0, ops / 100_000))
+    ),
+    "fig11": lambda ops: evaluation.fig11_interval_sweep(),
+    "fig12": lambda ops: overhead.fig12_tracking_overhead(target_ops=ops),
+    "fig13": lambda ops: overhead.fig13_watermark_sensitivity(target_ops=ops),
+}
+
+
+COMMANDS: dict[str, Callable[[int], str]] = {
+    "fig1": _fig1,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "ctx-switch": _ctx,
+    "energy": _energy,
+    "ablations": _ablations_cmd,
+    "extensions": _extensions_cmd,
+    "endurance": _endurance_cmd,
+    "report": lambda ops: __import__(
+        "repro.experiments.report_gen", fromlist=["generate_report"]
+    ).generate_report(ops=ops),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate figures from 'Prosper: Program Stack "
+        "Persistence in Hybrid Memory Systems' (HPCA 2024).",
+    )
+    parser.add_argument(
+        "command",
+        choices=sorted(COMMANDS) + ["all", "list"],
+        help="figure to regenerate, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=60_000,
+        help="approximate trace length per workload (default 60000)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to also write each table into (one .txt per figure)",
+    )
+    parser.add_argument(
+        "--csv",
+        type=Path,
+        default=None,
+        help="directory to write raw result rows as CSV (tabular figures only)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(COMMANDS):
+            print(name)
+        return 0
+    names = sorted(COMMANDS) if args.command == "all" else [args.command]
+    for name in names:
+        text = COMMANDS[name](args.ops)
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+        if args.csv is not None and name in RAW_ROWS:
+            from repro.analysis.export import export_experiment
+
+            export_experiment(name, RAW_ROWS[name](args.ops), args.csv)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

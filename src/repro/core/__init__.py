@@ -1,0 +1,43 @@
+"""Prosper core: the paper's contribution.
+
+* :mod:`repro.core.msr` — the custom model-specific registers through which
+  the OS programs the tracker (stack range, granularity, bitmap base,
+  control/status).
+* :mod:`repro.core.bitmap` — the DRAM-resident dirty bitmap, one bit per
+  tracking granule of the stack.
+* :mod:`repro.core.lookup_table` — the small coalescing cache inside the
+  tracker, with HWM write-out and LWM eviction.
+* :mod:`repro.core.policies` — Accumulate-and-Apply vs Load-and-Update
+  entry-allocation policies.
+* :mod:`repro.core.tracker` — the per-core dirty tracker itself (SOI
+  filtering, bitmap maintenance, flush/quiescence protocol, state
+  save/restore for context switches).
+* :mod:`repro.core.checkpoint` — the OS-side checkpoint engine (bitmap
+  inspection, run coalescing, two-step copy into NVM).
+* :mod:`repro.core.energy` — lookup-table energy/area accounting.
+"""
+
+from repro.core.msr import MsrBank
+from repro.core.bitmap import DirtyBitmap
+from repro.core.lookup_table import LookupTable, TableStats
+from repro.core.policies import AllocationPolicy
+from repro.core.tracker import ProsperTracker, TrackerState
+from repro.core.checkpoint import CheckpointResult, ProsperCheckpointEngine
+from repro.core.energy import EnergyModel, EnergyReport
+from repro.core.adaptive import GranularityController, WatermarkController
+
+__all__ = [
+    "MsrBank",
+    "DirtyBitmap",
+    "LookupTable",
+    "TableStats",
+    "AllocationPolicy",
+    "ProsperTracker",
+    "TrackerState",
+    "CheckpointResult",
+    "ProsperCheckpointEngine",
+    "EnergyModel",
+    "EnergyReport",
+    "GranularityController",
+    "WatermarkController",
+]

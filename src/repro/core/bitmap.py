@@ -1,0 +1,204 @@
+"""The DRAM-resident dirty bitmap maintained by the Prosper tracker.
+
+One bit corresponds to one tracking granule of the stack (Section III-A:
+"A bit in the dirty bitmap corresponds to a stack address range based on the
+tracking granularity").  The bitmap is organized as 32-bit words — the same
+width as the bitmap-value field of a lookup-table entry (Figure 7) — so a
+single tracker store updates one word.
+
+The OS consumes the bitmap at checkpoint time: it inspects only the words
+covering the maximum active stack region, coalesces contiguous set bits into
+runs, and clears the bits it consumed for the next interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.memory.address import AddressRange
+
+#: Bits per bitmap word (matches the lookup-table bitmap-value width).
+WORD_BITS = 32
+#: Bytes occupied by one bitmap word in the bitmap area.
+WORD_BYTES = 4
+
+
+@dataclass(frozen=True)
+class DirtyRun:
+    """A maximal run of contiguous dirty granules ``[start, end)`` in bytes."""
+
+    start: int
+    end: int
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+
+class DirtyBitmap:
+    """Dirty bitmap for one thread's stack region.
+
+    Parameters
+    ----------
+    region:
+        The stack address range the bitmap covers.
+    granularity:
+        Bytes per bit (a multiple of 8; Section III-B).
+    base_address:
+        Virtual address of the bitmap area in DRAM, used to compute the
+        bitmap-word addresses the tracker stores to.
+    """
+
+    def __init__(self, region: AddressRange, granularity: int, base_address: int = 0x6000_0000) -> None:
+        if granularity % 8 != 0 or granularity <= 0:
+            raise ValueError("granularity must be a positive multiple of 8")
+        self.region = region
+        self.granularity = granularity
+        self.base_address = base_address
+        self.num_granules = -(-region.size // granularity)
+        self.num_words = -(-self.num_granules // WORD_BITS)
+        self._words = np.zeros(self.num_words, dtype=np.uint32)
+
+    # ------------------------------------------------------------------ #
+    # Address math (mirrors the tracker's hardware calculation, Figure 7)
+    # ------------------------------------------------------------------ #
+
+    def granule_of(self, address: int) -> int:
+        """Granule index of a stack *address* (0 = lowest stack address)."""
+        if not self.region.contains(address):
+            raise ValueError(
+                f"address {address:#x} outside tracked region {self.region}"
+            )
+        return (address - self.region.start) // self.granularity
+
+    def word_address(self, granule: int) -> int:
+        """Virtual address of the bitmap word holding *granule*'s bit."""
+        return self.base_address + (granule // WORD_BITS) * WORD_BYTES
+
+    def bit_position(self, granule: int) -> int:
+        """Bit index of *granule* within its bitmap word."""
+        return granule % WORD_BITS
+
+    # ------------------------------------------------------------------ #
+    # Word-level interface used by the tracker's bitmap loads/stores
+    # ------------------------------------------------------------------ #
+
+    def load_word(self, word_index: int) -> int:
+        """Tracker-issued load of the old bitmap value."""
+        return int(self._words[word_index])
+
+    def store_word(self, word_index: int, value: int) -> None:
+        """Tracker-issued store of a merged bitmap value."""
+        self._words[word_index] = np.uint32(value)
+
+    def merge_word(self, word_index: int, accumulated: int) -> bool:
+        """Accumulate-and-Apply merge: OR *accumulated* into the word.
+
+        Returns True when the stored value actually changed (a store to
+        memory is required), False when the accumulated bits were already
+        set (the store can be elided — "stored back if required").
+        """
+        old = int(self._words[word_index])
+        new = old | (accumulated & 0xFFFF_FFFF)
+        if new != old:
+            self._words[word_index] = np.uint32(new)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # OS-side inspection and maintenance
+    # ------------------------------------------------------------------ #
+
+    def set_bits_for_access(self, address: int, size: int) -> None:
+        """Directly mark the granules covered by an access (software path).
+
+        Used by the OS fault handler for inter-thread stack writes
+        (Section III-C) and by tests.
+        """
+        if size <= 0:
+            return
+        first = self.granule_of(address)
+        last = self.granule_of(min(address + size - 1, self.region.end - 1))
+        for granule in range(first, last + 1):
+            self._words[granule // WORD_BITS] |= np.uint32(1 << (granule % WORD_BITS))
+
+    def is_dirty(self, address: int) -> bool:
+        """True when the granule containing *address* is marked dirty."""
+        granule = self.granule_of(address)
+        return bool(self._words[granule // WORD_BITS] >> (granule % WORD_BITS) & 1)
+
+    def dirty_granule_count(self) -> int:
+        """Total set bits (population count across all words)."""
+        return int(
+            np.unpackbits(self._words.view(np.uint8)).sum()
+        )
+
+    def words_touched(self, active_low: int | None = None) -> int:
+        """Number of bitmap words covering ``[active_low, region.end)``.
+
+        This is the amount of metadata the OS must walk at checkpoint time;
+        passing the tracker-reported lowest dirty address limits the walk to
+        the active stack region (Section III-A).
+        """
+        if active_low is None or active_low <= self.region.start:
+            return self.num_words
+        first_granule = (active_low - self.region.start) // self.granularity
+        return self.num_words - first_granule // WORD_BITS
+
+    def iter_dirty_runs(self, active_low: int | None = None) -> Iterator[DirtyRun]:
+        """Yield maximal contiguous dirty byte-ranges, low address first.
+
+        Contiguous set bits are coalesced into one run (Section III-A: "the
+        OS looks for coalescing opportunities"), so one run becomes one copy
+        operation at checkpoint time.
+        """
+        start_granule = 0
+        if active_low is not None and active_low > self.region.start:
+            start_granule = (active_low - self.region.start) // self.granularity
+
+        bits = np.unpackbits(
+            self._words.view(np.uint8), bitorder="little"
+        )[: self.num_granules]
+        if start_granule:
+            bits = bits[start_granule:]
+        if not bits.any():
+            return
+
+        # Find run boundaries via the discrete difference of the bit vector.
+        padded = np.concatenate(([0], bits, [0]))
+        edges = np.flatnonzero(np.diff(padded))
+        starts, ends = edges[0::2], edges[1::2]
+        base = self.region.start + start_granule * self.granularity
+        for s, e in zip(starts, ends):
+            run_start = base + int(s) * self.granularity
+            run_end = min(base + int(e) * self.granularity, self.region.end)
+            yield DirtyRun(run_start, run_end)
+
+    def clear(self, active_low: int | None = None) -> int:
+        """Clear dirty bits; returns the number of words written.
+
+        With *active_low* given, only the words covering the active region
+        are cleared — the optimization enabled by the tracker sharing the
+        maximum active stack extent with the OS.
+        """
+        if active_low is None or active_low <= self.region.start:
+            written = int(np.count_nonzero(self._words))
+            self._words[:] = 0
+            return written
+        first_word = ((active_low - self.region.start) // self.granularity) // WORD_BITS
+        written = int(np.count_nonzero(self._words[first_word:]))
+        self._words[first_word:] = 0
+        return written
+
+    def snapshot_words(self) -> np.ndarray:
+        """Copy of the raw words (context-switch save path)."""
+        return self._words.copy()
+
+    def restore_words(self, words: np.ndarray) -> None:
+        """Restore raw words (context-switch restore path)."""
+        if words.shape != self._words.shape:
+            raise ValueError("bitmap snapshot shape mismatch")
+        self._words[:] = words

@@ -1,0 +1,196 @@
+"""OS-side Prosper checkpoint engine (Section III-A, Figure 5/6).
+
+At the end of each checkpoint interval the OS:
+
+1. requests a lookup-table flush and polls for quiescence (two-step
+   protocol; between the steps it prepares for the copy);
+2. inspects only the bitmap words covering the *active* stack region —
+   bounded below by the tracker-reported lowest dirty address and by the
+   lowest SP observed in the interval — coalescing contiguous set bits into
+   runs;
+3. copies each dirty run from DRAM into a staging buffer in NVM (step one
+   of the crash-consistent commit);
+4. applies the staged data onto the per-thread persistent stack in NVM
+   (step two), then marks the checkpoint committed;
+5. clears the consumed bitmap words so the next interval starts clean.
+
+Crash consistency: a failure during (3) leaves the previous committed
+checkpoint intact; a failure during (4) is recovered by replaying the fully
+staged buffer (it is written completely before the commit record flips).
+The recovery path lives in :mod:`repro.kernel.restore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitmap import DirtyBitmap, DirtyRun
+from repro.core.tracker import ProsperTracker
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: Cycles for the OS to stream-inspect one 64-byte cache line of bitmap
+#: (16 words): an 8-byte-at-a-time scan that skips zero words quickly, the
+#: coalescing walk of Section III-A.
+INSPECT_CYCLES_PER_LINE = 6
+WORDS_PER_BITMAP_LINE = 16
+#: Cycles to clear one dirty bitmap word for the next interval.
+CLEAR_CYCLES_PER_WORD = 2
+#: Fixed per-checkpoint software cost: flush request, poll, bookkeeping.
+CHECKPOINT_FIXED_CYCLES = 400
+#: Per-run software overhead of setting up one copy (pointer math, loop).
+PER_RUN_SETUP_CYCLES = 30
+
+
+@dataclass
+class CheckpointResult:
+    """Outcome of one stack checkpoint."""
+
+    interval_index: int
+    copied_bytes: int
+    runs: int
+    words_inspected: int
+    cycles: int
+    committed: bool = True
+
+
+@dataclass
+class StagedCheckpoint:
+    """NVM staging-buffer contents awaiting (or after) commit.
+
+    ``runs`` carries the byte ranges staged; the recovery code uses it to
+    replay a checkpoint whose commit was interrupted.
+    """
+
+    interval_index: int
+    runs: list[DirtyRun] = field(default_factory=list)
+    committed: bool = False
+
+
+class ProsperCheckpointEngine:
+    """Drives tracker + bitmap to produce crash-consistent stack checkpoints."""
+
+    def __init__(
+        self,
+        tracker: ProsperTracker,
+        bitmap: DirtyBitmap,
+        hierarchy: MemoryHierarchy,
+        fixed_scale: float = 1.0,
+    ) -> None:
+        self.tracker = tracker
+        self.bitmap = bitmap
+        self.hierarchy = hierarchy
+        #: Scale for fixed per-event costs under a compressed clock
+        #: (see repro.experiments.runner); 1.0 = real latencies.
+        self.fixed_scale = fixed_scale
+        self.results: list[CheckpointResult] = []
+        #: The persistent (committed) image state, for recovery tests: maps
+        #: nothing concrete — we record the last committed interval and the
+        #: staged-but-uncommitted checkpoint if any.
+        self.last_committed_interval: int | None = None
+        self.staged: StagedCheckpoint | None = None
+
+    def checkpoint(
+        self,
+        interval_index: int,
+        active_low_hint: int | None = None,
+        final_sp: int | None = None,
+        crash_after_stage: bool = False,
+    ) -> CheckpointResult:
+        """Run one end-of-interval checkpoint; returns size/time accounting.
+
+        *active_low_hint* is the lowest SP the OS observed during the
+        interval (combined with the tracker's lowest dirty address, it
+        bounds the bitmap walk).  *final_sp* is the SP at the commit point:
+        the checkpoint is **SP-aware** (Section II-A) — dirty granules
+        below it belong to popped frames and are dropped, not copied.
+        Setting *crash_after_stage* simulates a power failure between
+        staging and commit, leaving :attr:`staged` for the recovery path.
+        """
+        cycles = round(CHECKPOINT_FIXED_CYCLES * self.fixed_scale)
+
+        # Step 1 — two-step quiescence.
+        self.tracker.request_flush()
+        cycles += self.tracker.msrs.outstanding_ops  # drain wait, ~1 cyc/op
+        self.tracker.poll_quiescent()
+
+        # Step 2 — bounded bitmap inspection (streamed a cache line at a
+        # time; zero words are skipped cheaply).
+        active_low = self._active_low(active_low_hint)
+        words = self.bitmap.words_touched(active_low)
+        cycles += (
+            -(-words // WORDS_PER_BITMAP_LINE) * INSPECT_CYCLES_PER_LINE
+        )
+        runs = list(self.bitmap.iter_dirty_runs(active_low))
+        if final_sp is not None and final_sp > self.bitmap.region.start:
+            # SP awareness: clip every run to the live region [final_sp,
+            # top).  Bits below final_sp belong to dead frames; the walk
+            # still clears them (below) so they cannot leak into a later
+            # checkpoint.
+            runs = [
+                DirtyRun(max(run.start, final_sp), run.end)
+                for run in runs
+                if run.end > final_sp
+            ]
+
+        # Step 3 — copy dirty runs into the NVM staging buffer.  The copies
+        # are pipelined: one fixed device latency for the batch, plus
+        # bandwidth-limited streaming of the bytes and a small software
+        # setup cost per run.
+        copied = sum(run.size for run in runs)
+        staged = StagedCheckpoint(interval_index, runs)
+        cycles += len(runs) * PER_RUN_SETUP_CYCLES
+        if copied:
+            cycles += self.hierarchy.copy_dram_to_nvm(copied, self.fixed_scale)
+        self.staged = staged
+
+        if crash_after_stage:
+            result = CheckpointResult(
+                interval_index, copied, len(runs), words, cycles, committed=False
+            )
+            self.results.append(result)
+            return result
+
+        # Step 4 — apply staging buffer onto the persistent stack and commit.
+        cycles += self._commit(staged)
+
+        # Step 5 — clear consumed bitmap words.
+        cleared = self.bitmap.clear(active_low)
+        cycles += cleared * CLEAR_CYCLES_PER_WORD
+        self.tracker.begin_interval()
+
+        result = CheckpointResult(interval_index, copied, len(runs), words, cycles)
+        self.results.append(result)
+        return result
+
+    def _commit(self, staged: StagedCheckpoint) -> int:
+        """Apply the staged runs to the per-thread persistent stack in NVM."""
+        total = sum(run.size for run in staged.runs)
+        cycles = 0
+        if total:
+            cycles += self.hierarchy.copy_nvm_to_nvm(total, self.fixed_scale)
+        cycles += self.hierarchy.persist_barrier()
+        staged.committed = True
+        self.last_committed_interval = staged.interval_index
+        return cycles
+
+    def recover_staged(self) -> int | None:
+        """Complete an interrupted commit from the staging buffer.
+
+        Returns the interval index recovered to, or None when the staging
+        buffer was empty/committed (recovery falls back to the previous
+        committed checkpoint).
+        """
+        if self.staged is None or self.staged.committed:
+            return self.last_committed_interval
+        self._commit(self.staged)
+        return self.last_committed_interval
+
+    def _active_low(self, hint: int | None) -> int | None:
+        tracker_low = self.tracker.min_dirty_address
+        candidates = [c for c in (hint, tracker_low) if c is not None]
+        if not candidates:
+            # Nothing dirtied and no hint: inspect nothing below the top.
+            return self.bitmap.region.end
+        # The OS must inspect everything from the lowest known dirty/active
+        # address upward; taking the min is conservative and correct.
+        return max(self.bitmap.region.start, min(candidates))

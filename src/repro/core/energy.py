@@ -1,0 +1,85 @@
+"""Energy and area model of the Prosper lookup table (Section V).
+
+The paper reports CACTI-P numbers for the 16-entry lookup table at 7 nm
+FinFET with two read ports and one write port:
+
+* dynamic read energy per access: 0.000773194 nJ
+* dynamic write energy per access: 0.000128375 nJ
+* bank leakage power: 0.01067596 mW
+* area: 0.000704786 mm^2
+
+This module turns tracker access counts and elapsed time into total energy,
+reproducing the paper's accounting without CACTI itself (a substitution
+documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CPU_FREQ_HZ
+
+#: CACTI-P 7nm numbers reported in the paper.
+READ_ENERGY_NJ = 0.000773194
+WRITE_ENERGY_NJ = 0.000128375
+LEAKAGE_POWER_MW = 0.01067596
+AREA_MM2 = 0.000704786
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of a tracker run."""
+
+    reads: int
+    writes: int
+    elapsed_cycles: int
+    dynamic_read_nj: float
+    dynamic_write_nj: float
+    leakage_nj: float
+    area_mm2: float = AREA_MM2
+
+    @property
+    def dynamic_nj(self) -> float:
+        return self.dynamic_read_nj + self.dynamic_write_nj
+
+    @property
+    def total_nj(self) -> float:
+        return self.dynamic_nj + self.leakage_nj
+
+
+class EnergyModel:
+    """Accumulates lookup-table access counts into an energy report."""
+
+    def __init__(
+        self,
+        read_energy_nj: float = READ_ENERGY_NJ,
+        write_energy_nj: float = WRITE_ENERGY_NJ,
+        leakage_power_mw: float = LEAKAGE_POWER_MW,
+        freq_hz: int = CPU_FREQ_HZ,
+    ) -> None:
+        if min(read_energy_nj, write_energy_nj, leakage_power_mw) < 0:
+            raise ValueError("energy parameters must be non-negative")
+        self.read_energy_nj = read_energy_nj
+        self.write_energy_nj = write_energy_nj
+        self.leakage_power_mw = leakage_power_mw
+        self.freq_hz = freq_hz
+
+    def report(self, reads: int, writes: int, elapsed_cycles: int) -> EnergyReport:
+        """Energy for *reads*/*writes* table accesses over *elapsed_cycles*."""
+        if reads < 0 or writes < 0 or elapsed_cycles < 0:
+            raise ValueError("counts must be non-negative")
+        seconds = elapsed_cycles / self.freq_hz
+        # mW * s = mJ = 1e6 nJ.
+        leakage_nj = self.leakage_power_mw * seconds * 1e6
+        return EnergyReport(
+            reads=reads,
+            writes=writes,
+            elapsed_cycles=elapsed_cycles,
+            dynamic_read_nj=reads * self.read_energy_nj,
+            dynamic_write_nj=writes * self.write_energy_nj,
+            leakage_nj=leakage_nj,
+        )
+
+    def report_for_tracker(self, tracker, elapsed_cycles: int) -> EnergyReport:
+        """Convenience: read access counts straight off a ProsperTracker."""
+        return self.report(tracker.table_reads, tracker.table_writes, elapsed_cycles)

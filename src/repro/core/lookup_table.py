@@ -1,0 +1,196 @@
+"""The tracker's coalescing lookup table (Section III-B, Figure 7).
+
+A small fully-associative structure whose entries are tuples of
+``<bitmap word address, accumulated 32-bit bitmap value>``.  Its job is to
+absorb the burst of bitmap updates that stack writes would otherwise
+generate, issuing a *bitmap store* to memory only when:
+
+1. an entry's popcount reaches the **high-water mark (HWM)** — eager
+   write-out of dense entries;
+2. an entry is **evicted** for capacity — victims are chosen among entries
+   whose popcount is below the **low-water mark (LWM)** (momentarily-touched
+   call/return frames), falling back to a random victim when none qualify;
+3. the OS requests a **flush** at the end of a checkpoint interval or on a
+   context switch.
+
+Under the Accumulate-and-Apply policy each write-out first issues a load of
+the old bitmap word, merges, and stores back only if the word changed; under
+Load-and-Update the load happens at allocation instead.
+
+The table counts its bitmap loads and stores — exactly the quantities
+Figure 13 sweeps against HWM and LWM.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.config import TrackerConfig
+from repro.core.bitmap import DirtyBitmap
+from repro.core.policies import AllocationPolicy
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    return bin(value).count("1")
+
+
+@dataclass
+class TableStats:
+    """Event counters for one tracking interval (or lifetime)."""
+
+    hits: int = 0
+    misses: int = 0
+    bitmap_loads: int = 0
+    bitmap_stores: int = 0
+    elided_stores: int = 0
+    hwm_writeouts: int = 0
+    lwm_evictions: int = 0
+    random_evictions: int = 0
+    flush_writeouts: int = 0
+
+    @property
+    def memory_ops(self) -> int:
+        """Total tracker-generated memory operations."""
+        return self.bitmap_loads + self.bitmap_stores
+
+    def reset(self) -> None:
+        for name in vars(self):
+            setattr(self, name, 0)
+
+
+@dataclass
+class _Entry:
+    """One lookup-table entry: accumulated bits for a bitmap word."""
+
+    word_index: int
+    value: int = 0
+    pops: int = field(default=0, repr=False)  # cached popcount of value
+    #: Sequence number of the last update (pseudo-LRU for eviction).
+    last_use: int = field(default=0, repr=False)
+
+
+class LookupTable:
+    """Coalescing cache between the SOI filter and the bitmap area."""
+
+    def __init__(
+        self,
+        config: TrackerConfig,
+        policy: AllocationPolicy = AllocationPolicy.ACCUMULATE_AND_APPLY,
+        seed: int = 0xC0FFEE,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.stats = TableStats()
+        self._entries: dict[int, _Entry] = {}
+        self._rng = random.Random(seed)
+        self._seq = 0  # monotonic update counter for pseudo-LRU
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.config.lookup_table_entries
+
+    # ------------------------------------------------------------------ #
+    # Front side: record one dirty granule
+    # ------------------------------------------------------------------ #
+
+    def record(self, word_index: int, bit: int, bitmap: DirtyBitmap) -> int:
+        """Set *bit* of bitmap word *word_index*; returns memory ops issued.
+
+        This is the per-SOI path of Figure 7: parallel search of the table,
+        update on hit, allocation (with possible eviction) on miss, and an
+        eager write-out when the entry crosses HWM.
+        """
+        ops = 0
+        entry = self._entries.get(word_index)
+        if entry is not None:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+            if self.is_full:
+                ops += self._evict_one(bitmap)
+            entry = _Entry(word_index)
+            if self.policy.loads_on_allocation:
+                # Load-and-Update: fetch the old word now.
+                entry.value = bitmap.load_word(word_index)
+                entry.pops = popcount(entry.value)
+                self.stats.bitmap_loads += 1
+                ops += 1
+            self._entries[word_index] = entry
+
+        mask = 1 << bit
+        if not entry.value & mask:
+            entry.value |= mask
+            entry.pops += 1
+        self._seq += 1
+        entry.last_use = self._seq
+
+        if entry.pops >= self.config.high_water_mark:
+            ops += self._write_out(entry, bitmap, reason="hwm")
+        return ops
+
+    # ------------------------------------------------------------------ #
+    # Back side: write-outs, evictions, flush
+    # ------------------------------------------------------------------ #
+
+    def _write_out(self, entry: _Entry, bitmap: DirtyBitmap, reason: str) -> int:
+        """Push *entry*'s accumulated bits to the bitmap area; free the entry.
+
+        Returns the number of memory operations issued (loads + stores).
+        """
+        ops = 0
+        if self.policy.loads_on_writeout:
+            # Accumulate-and-Apply: load old, merge, store back if changed.
+            self.stats.bitmap_loads += 1
+            ops += 1
+            changed = bitmap.merge_word(entry.word_index, entry.value)
+            if changed:
+                self.stats.bitmap_stores += 1
+                ops += 1
+            else:
+                self.stats.elided_stores += 1
+        else:
+            # Load-and-Update: the entry already holds the merged word.
+            bitmap.store_word(entry.word_index, entry.value)
+            self.stats.bitmap_stores += 1
+            ops += 1
+
+        if reason == "hwm":
+            self.stats.hwm_writeouts += 1
+        elif reason == "lwm":
+            self.stats.lwm_evictions += 1
+        elif reason == "random":
+            self.stats.random_evictions += 1
+        else:
+            self.stats.flush_writeouts += 1
+        del self._entries[entry.word_index]
+        return ops
+
+    def _evict_one(self, bitmap: DirtyBitmap) -> int:
+        """Make room for a new entry using the LWM policy (Section III-B iii)."""
+        lwm = self.config.low_water_mark
+        candidates = [e for e in self._entries.values() if e.pops < lwm]
+        if candidates:
+            # Among LWM-qualifying entries, evict the least-recently-updated:
+            # momentary call/return touches leave sparse, stale entries that
+            # deserve to go first, while a sparse entry that was updated a
+            # moment ago is likely a run still being filled.
+            victim = min(candidates, key=lambda e: e.last_use)
+            return self._write_out(victim, bitmap, reason="lwm")
+        victim = self._rng.choice(list(self._entries.values()))
+        return self._write_out(victim, bitmap, reason="random")
+
+    def flush(self, bitmap: DirtyBitmap) -> int:
+        """Evict every entry (interval end / context switch); returns mem ops."""
+        ops = 0
+        for entry in list(self._entries.values()):
+            ops += self._write_out(entry, bitmap, reason="flush")
+        return ops
+
+    def entries_snapshot(self) -> list[tuple[int, int]]:
+        """(word_index, value) pairs, for context-switch state save."""
+        return [(e.word_index, e.value) for e in self._entries.values()]

@@ -1,0 +1,111 @@
+"""Custom model-specific registers of the Prosper hardware.
+
+Section III-D: the OS programs the per-core tracker through custom MSRs —
+two hold the stack virtual address range for the comparator circuit near
+L1D, two more carry the tracking granularity and the base address of the
+dirty-bitmap area.  A control register arms/disarms tracking and requests a
+flush; a status register exposes the outstanding load/store counters the OS
+polls for quiescence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.memory.address import AddressRange
+
+
+class Msr(enum.Enum):
+    """Names of the custom MSRs."""
+
+    STACK_START = "PROSPER_STACK_START"
+    STACK_END = "PROSPER_STACK_END"
+    GRANULARITY = "PROSPER_GRANULARITY"
+    BITMAP_BASE = "PROSPER_BITMAP_BASE"
+    CONTROL = "PROSPER_CONTROL"
+    STATUS = "PROSPER_STATUS"
+
+
+class ControlBits(enum.IntFlag):
+    """Bit layout of the CONTROL MSR."""
+
+    ENABLE = 1 << 0
+    FLUSH = 1 << 1
+
+
+@dataclass
+class MsrBank:
+    """The per-core MSR file seen by both the OS and the tracker.
+
+    The OS writes configuration (WRMSR); the tracker reads it and posts
+    status.  Values are plain integers, as they would be in hardware.
+    """
+
+    stack_start: int = 0
+    stack_end: int = 0
+    granularity: int = 8
+    bitmap_base: int = 0
+    control: int = 0
+    #: Outstanding tracker-generated loads+stores, polled for quiescence.
+    outstanding_ops: int = 0
+    #: Lowest stack address stored to in the current interval (the maximum
+    #: active stack extent Prosper shares with the OS, Section III-A).
+    min_dirty_address: int = 0
+
+    def write(self, msr: Msr, value: int) -> None:
+        """OS-side WRMSR."""
+        if value < 0:
+            raise ValueError(f"MSR value must be non-negative, got {value}")
+        if msr is Msr.STACK_START:
+            self.stack_start = value
+        elif msr is Msr.STACK_END:
+            self.stack_end = value
+        elif msr is Msr.GRANULARITY:
+            if value % 8 != 0 or value == 0:
+                raise ValueError("granularity must be a positive multiple of 8")
+            self.granularity = value
+        elif msr is Msr.BITMAP_BASE:
+            self.bitmap_base = value
+        elif msr is Msr.CONTROL:
+            self.control = value
+        else:
+            raise PermissionError(f"{msr.value} is read-only")
+
+    def read(self, msr: Msr) -> int:
+        """RDMSR."""
+        return {
+            Msr.STACK_START: self.stack_start,
+            Msr.STACK_END: self.stack_end,
+            Msr.GRANULARITY: self.granularity,
+            Msr.BITMAP_BASE: self.bitmap_base,
+            Msr.CONTROL: self.control,
+            Msr.STATUS: self.outstanding_ops,
+        }[msr]
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.control & ControlBits.ENABLE)
+
+    @property
+    def flush_requested(self) -> bool:
+        return bool(self.control & ControlBits.FLUSH)
+
+    def clear_flush(self) -> None:
+        self.control &= ~ControlBits.FLUSH
+
+    @property
+    def stack_range(self) -> AddressRange:
+        return AddressRange(self.stack_start, self.stack_end)
+
+    def snapshot(self) -> "MsrBank":
+        """Copy of the configuration, saved/restored on context switch."""
+        return MsrBank(
+            stack_start=self.stack_start,
+            stack_end=self.stack_end,
+            granularity=self.granularity,
+            bitmap_base=self.bitmap_base,
+            control=self.control,
+            outstanding_ops=0,
+            min_dirty_address=self.min_dirty_address,
+        )

@@ -1,0 +1,39 @@
+"""Lookup-table entry-allocation policies (Section III-B, design question i).
+
+When a store of interest misses in the lookup table, the tracker must create
+an entry for the target bitmap word.  The paper weighs two designs:
+
+* **Accumulate-and-Apply** (chosen): allocate an empty entry instantly and
+  accumulate set bits in it; only when the entry is written out (HWM,
+  eviction, or flush) is a *load* of the old bitmap value issued, the
+  accumulated bits merged in, and the word stored back *if it changed*.
+  Allocation never waits on memory.
+* **Load-and-Update**: issue the load at allocation time so the entry always
+  holds the latest full word; write-out is a plain store.  Saves repeated
+  loads when the same word is evicted multiple times in an interval, at the
+  cost of delaying allocation (an entry sits "not ready" while its load is
+  in flight, and stores to it must queue).
+
+Both are implemented so the design choice can be evaluated as an ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AllocationPolicy(enum.Enum):
+    """Which entry-allocation design the lookup table uses."""
+
+    ACCUMULATE_AND_APPLY = "accumulate-and-apply"
+    LOAD_AND_UPDATE = "load-and-update"
+
+    @property
+    def loads_on_allocation(self) -> bool:
+        """True when a miss issues an immediate load of the old word."""
+        return self is AllocationPolicy.LOAD_AND_UPDATE
+
+    @property
+    def loads_on_writeout(self) -> bool:
+        """True when write-out must first fetch the old word to merge."""
+        return self is AllocationPolicy.ACCUMULATE_AND_APPLY

@@ -1,0 +1,14 @@
+"""Trace-driven execution substrate.
+
+A :class:`~repro.cpu.engine.ExecutionEngine` consumes a stream of
+micro-operations (loads, stores, call/return stack adjustments, compute
+blocks), charges each its latency from the memory hierarchy, maintains the
+stack pointer, and fires interval hooks — the point where checkpoint
+mechanisms and the Prosper tracker attach.
+"""
+
+from repro.cpu.ops import Op, OpKind
+from repro.cpu.registers import RegisterFile
+from repro.cpu.engine import EngineStats, ExecutionEngine
+
+__all__ = ["Op", "OpKind", "RegisterFile", "EngineStats", "ExecutionEngine"]

@@ -1,0 +1,350 @@
+"""Trace-driven execution engine.
+
+The engine is the simulator's main loop.  It consumes a sequence of
+micro-operations (:mod:`repro.cpu.ops`), charges each op its latency from the
+memory hierarchy, maintains the stack pointer through CALL/RET, routes
+accesses to the persistence mechanisms protecting each region, and fires
+interval hooks every *interval_cycles* of application progress — the
+consistency-interval boundaries at which checkpoint mechanisms do their work.
+
+Time accounting distinguishes:
+
+* ``app_cycles`` — progress of the application itself (memory latency plus
+  compute), what "execution time without persistence" measures;
+* ``inline_cycles`` — extra critical-path cycles a mechanism adds to loads
+  and stores (clwb, log appends, page faults, tracker interference);
+* ``interval_cycles`` — cycles spent inside interval-boundary work
+  (metadata inspection, copying, commits).
+
+Normalized execution time as plotted in the paper (Figures 3, 8, 9) is then
+``(app + inline + interval) / app``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.config import SystemConfig, setup_i
+from repro.cpu.ops import Op, OpKind
+from repro.cpu.registers import RegisterFile
+from repro.memory.address import AddressRange
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.persistence.base import IntervalContext, PersistenceMechanism
+
+
+@dataclass
+class IntervalRecord:
+    """Per-interval statistics the engine gathers for the analysis layer."""
+
+    index: int
+    end_cycle: int
+    final_sp: int
+    min_sp: int
+    stack_writes: int
+    stack_writes_beyond_final_sp: int
+    checkpoint_cycles: int
+
+
+@dataclass
+class EngineStats:
+    """Aggregate statistics of one run."""
+
+    ops_executed: int = 0
+    app_cycles: int = 0
+    inline_cycles: int = 0
+    interval_cycles: int = 0
+    stack_reads: int = 0
+    stack_writes: int = 0
+    other_reads: int = 0
+    other_writes: int = 0
+    intervals: list[IntervalRecord] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.app_cycles + self.inline_cycles + self.interval_cycles
+
+    @property
+    def normalized_time(self) -> float:
+        """Execution time normalized to the no-persistence application time."""
+        return self.total_cycles / self.app_cycles if self.app_cycles else 1.0
+
+    @property
+    def user_ipc(self) -> float:
+        """Ops per application-visible cycle (inline overhead included).
+
+        Mirrors the paper's user-space IPC metric for the tracking-overhead
+        study (Figure 12): interval-boundary kernel work is excluded, but
+        any slowdown the tracker imposes on user instructions is not.
+        """
+        user_cycles = self.app_cycles + self.inline_cycles
+        return self.ops_executed / user_cycles if user_cycles else 0.0
+
+
+class ExecutionEngine:
+    """Runs one thread's trace against a machine model.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration; defaults to the paper's Setup-I.
+    stack_range:
+        Virtual address range of the thread's stack.  The initial SP is the
+        top of this range (stacks grow down).
+    mechanism:
+        Persistence mechanism protecting the stack region (may be
+        :class:`~repro.persistence.none.NoPersistence`).
+    heap_range / heap_mechanism:
+        Optional second protected region, used by the full-memory-state
+        experiments (Figure 9).
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        stack_range: AddressRange | None = None,
+        mechanism: PersistenceMechanism | None = None,
+        heap_range: AddressRange | None = None,
+        heap_mechanism: PersistenceMechanism | None = None,
+        fixed_cost_scale: float = 1.0,
+    ) -> None:
+        from repro.persistence.none import NoPersistence
+
+        self.config = config or setup_i()
+        #: Scale applied by mechanisms to fixed per-wall-clock-event costs
+        #: (copy latencies, checkpoint setup, background-thread wakeups) so
+        #: they stay consistent with the runner's compressed clock; 1.0
+        #: means real hardware latencies.  See repro.experiments.runner.
+        self.fixed_cost_scale = fixed_cost_scale
+        self.stack_range = stack_range or AddressRange(0x7000_0000, 0x7010_0000)
+        self.heap_range = heap_range
+        self.mechanism = mechanism or NoPersistence()
+        self.heap_mechanism = heap_mechanism
+
+        nvm_regions: list[AddressRange] = []
+        if self.mechanism.region_in_nvm:
+            nvm_regions.append(self.stack_range)
+        if heap_mechanism is not None and heap_mechanism.region_in_nvm:
+            assert heap_range is not None
+            nvm_regions.append(heap_range)
+        self.hierarchy = MemoryHierarchy(
+            self.config,
+            nvm_resident=(
+                (lambda addr: any(r.contains(addr) for r in nvm_regions))
+                if nvm_regions
+                else None
+            ),
+        )
+
+        self.registers = RegisterFile(stack_pointer=self.stack_range.end)
+        self.now = 0
+        self.stats = EngineStats()
+
+        # Optional TLB/page-table-walker timing (SystemConfig.tlb).
+        if self.config.tlb is not None:
+            from repro.memory.tlb import Tlb
+
+            self.tlb: "Tlb | None" = Tlb(self.config.tlb)
+        else:
+            self.tlb = None
+
+        self.mechanism.attach(self, self.stack_range)
+        if heap_mechanism is not None:
+            if heap_range is None:
+                raise ValueError("heap_mechanism requires heap_range")
+            heap_mechanism.attach(self, heap_range)
+
+        # Interval bookkeeping.
+        self._interval_index = 0
+        self._interval_min_sp = self.registers.stack_pointer
+        self._interval_stack_write_addrs: list[int] = []
+
+    # ------------------------------------------------------------------ #
+    # Main loop
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        ops: Iterable[Op] | Sequence[Op],
+        interval_cycles: int = 0,
+        interval_ops: int | None = None,
+        final_checkpoint: bool = True,
+    ) -> EngineStats:
+        """Execute *ops*; fire interval hooks periodically.
+
+        Interval boundaries are either wall-clock (*interval_cycles* of
+        simulated time, like the paper's 10 ms timer) or positional
+        (*interval_ops* operations, used by the replay studies that need an
+        SP oracle aligned with trace position).  ``interval_cycles == 0``
+        with no *interval_ops* disables checkpointing (the vanilla
+        baseline).  When *final_checkpoint* is set, a trailing partial
+        interval is still committed, so every run ends in a consistent
+        persisted state.
+        """
+        if interval_cycles < 0:
+            raise ValueError("interval_cycles must be non-negative")
+        if interval_ops is not None and interval_ops <= 0:
+            raise ValueError("interval_ops must be positive")
+        periodic = bool(interval_cycles) or interval_ops is not None
+        next_boundary = self.now + interval_cycles if interval_cycles else None
+        ops_in_interval = 0
+        if periodic:
+            self._start_interval()
+
+        for op in ops:
+            self._execute(op)
+            ops_in_interval += 1
+            boundary = False
+            if interval_ops is not None:
+                boundary = ops_in_interval >= interval_ops
+            elif next_boundary is not None:
+                boundary = self.now >= next_boundary
+            if boundary:
+                self._end_interval()
+                if next_boundary is not None:
+                    next_boundary = self.now + interval_cycles
+                ops_in_interval = 0
+                self._start_interval()
+
+        # Commit the trailing partial interval, unless the last op landed
+        # exactly on a boundary (nothing ran since the last checkpoint).
+        if periodic and final_checkpoint and ops_in_interval > 0:
+            self._end_interval()
+        return self.stats
+
+    def _execute(self, op: Op) -> None:
+        self.stats.ops_executed += 1
+        self.registers.op_index += 1
+        kind = op.kind
+
+        if kind == OpKind.COMPUTE:
+            self._advance(op.size)
+            return
+
+        if kind == OpKind.CALL:
+            sp = self.registers.push_frame(op.size)
+            if sp < self._interval_min_sp:
+                self._interval_min_sp = sp
+            if sp < self.stack_range.start:
+                raise RuntimeError(
+                    f"stack overflow: SP {sp:#x} below {self.stack_range.start:#x}"
+                )
+            self._advance(1)
+            return
+
+        if kind == OpKind.RET:
+            self.registers.pop_frame(op.size)
+            self._advance(1)
+            return
+
+        # Memory operation.
+        is_write = kind == OpKind.WRITE
+        if self.tlb is not None:
+            self._advance(self.tlb.translate(op.address, is_write))
+        result = self.hierarchy.access(op.address, op.size, is_write)
+        self._advance(result.latency_cycles)
+
+        in_stack = self.stack_range.contains(op.address)
+        if in_stack:
+            if is_write:
+                self.stats.stack_writes += 1
+                self._interval_stack_write_addrs.append(op.address)
+            else:
+                self.stats.stack_reads += 1
+            extra = (
+                self.mechanism.on_store(op.address, op.size, self.now)
+                if is_write
+                else self.mechanism.on_load(op.address, op.size, self.now)
+            )
+            self._charge_inline(extra)
+        elif self.heap_range is not None and self.heap_range.contains(op.address):
+            if is_write:
+                self.stats.other_writes += 1
+            else:
+                self.stats.other_reads += 1
+            if self.heap_mechanism is not None:
+                extra = (
+                    self.heap_mechanism.on_store(op.address, op.size, self.now)
+                    if is_write
+                    else self.heap_mechanism.on_load(op.address, op.size, self.now)
+                )
+                self._charge_inline(extra)
+        else:
+            if is_write:
+                self.stats.other_writes += 1
+            else:
+                self.stats.other_reads += 1
+
+    def _advance(self, cycles: int) -> None:
+        self.now += cycles
+        self.stats.app_cycles += cycles
+        self.hierarchy.now = self.now
+
+    def _charge_inline(self, cycles: int) -> None:
+        if cycles:
+            self.now += cycles
+            self.stats.inline_cycles += cycles
+            self.hierarchy.now = self.now
+
+    # ------------------------------------------------------------------ #
+    # Interval boundaries
+    # ------------------------------------------------------------------ #
+
+    def _context(self) -> IntervalContext:
+        return IntervalContext(
+            interval_index=self._interval_index,
+            now=self.now,
+            final_sp=self.registers.stack_pointer,
+            min_sp=self._interval_min_sp,
+            region=self.stack_range,
+        )
+
+    def _heap_context(self) -> IntervalContext:
+        """Interval context for the heap region.
+
+        The heap has no stack pointer: ``final_sp``/``min_sp`` are pinned
+        to the region base so SP-aware trimming keeps everything live.
+        """
+        assert self.heap_range is not None
+        return IntervalContext(
+            interval_index=self._interval_index,
+            now=self.now,
+            final_sp=self.heap_range.start,
+            min_sp=self.heap_range.start,
+            region=self.heap_range,
+        )
+
+    def _start_interval(self) -> None:
+        spent = self.mechanism.on_interval_start(self._context())
+        if self.heap_mechanism is not None:
+            spent += self.heap_mechanism.on_interval_start(self._heap_context())
+        self._charge_interval(spent)
+        self._interval_min_sp = self.registers.stack_pointer
+        self._interval_stack_write_addrs = []
+
+    def _end_interval(self) -> None:
+        spent = self.mechanism.on_interval_end(self._context())
+        if self.heap_mechanism is not None:
+            spent += self.heap_mechanism.on_interval_end(self._heap_context())
+        self._charge_interval(spent)
+
+        final_sp = self.registers.stack_pointer
+        beyond = sum(1 for a in self._interval_stack_write_addrs if a < final_sp)
+        self.stats.intervals.append(
+            IntervalRecord(
+                index=self._interval_index,
+                end_cycle=self.now,
+                final_sp=final_sp,
+                min_sp=self._interval_min_sp,
+                stack_writes=len(self._interval_stack_write_addrs),
+                stack_writes_beyond_final_sp=beyond,
+                checkpoint_cycles=spent,
+            )
+        )
+        self._interval_index += 1
+
+    def _charge_interval(self, cycles: int) -> None:
+        if cycles:
+            self.now += cycles
+            self.stats.interval_cycles += cycles
+            self.hierarchy.now = self.now

@@ -1,0 +1,79 @@
+"""Micro-operation vocabulary for the trace-driven engine.
+
+A workload is a sequence of :class:`Op` records.  The vocabulary is
+deliberately small — it matches what the paper's trace-based analysis needs:
+
+* ``READ`` / ``WRITE`` — data accesses with an address, a size, and a flag
+  for whether the address falls in the stack segment (precomputed by the
+  workload generators for speed; the engine re-derives it when absent).
+* ``CALL`` / ``RET`` — stack-pointer movement.  A ``CALL`` pushes a frame of
+  ``size`` bytes (SP moves down); a ``RET`` pops it (SP moves up).  The
+  engine uses these to track the *active stack region*, the quantity behind
+  SP awareness (Section II-A).
+* ``COMPUTE`` — ``size`` ALU cycles with no memory traffic, used by the
+  Normal/Poisson micro-benchmarks whose compute blocks increment a register
+  a thousand times between bursts of stack writes.
+
+Traces can also be represented in bulk as numpy structured arrays
+(see :mod:`repro.workloads.trace`), with this module defining the dtype.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class OpKind(enum.IntEnum):
+    """Discriminator for trace records."""
+
+    READ = 0
+    WRITE = 1
+    CALL = 2
+    RET = 3
+    COMPUTE = 4
+
+
+@dataclass(frozen=True)
+class Op:
+    """One micro-operation.
+
+    ``address`` is meaningful for READ/WRITE; ``size`` is bytes for memory
+    ops, frame bytes for CALL/RET, and ALU cycles for COMPUTE.
+    """
+
+    kind: OpKind
+    address: int = 0
+    size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"op size must be non-negative, got {self.size}")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.kind in (OpKind.READ, OpKind.WRITE)
+
+
+#: Numpy dtype for bulk trace storage: (kind, address, size).
+TRACE_DTYPE = np.dtype(
+    [("kind", np.uint8), ("address", np.uint64), ("size", np.uint32)]
+)
+
+
+def ops_to_array(ops: list[Op]) -> np.ndarray:
+    """Pack a list of :class:`Op` into a ``TRACE_DTYPE`` array."""
+    arr = np.empty(len(ops), dtype=TRACE_DTYPE)
+    for i, op in enumerate(ops):
+        arr[i] = (int(op.kind), op.address, op.size)
+    return arr
+
+
+def array_to_ops(arr: np.ndarray) -> list[Op]:
+    """Unpack a ``TRACE_DTYPE`` array into :class:`Op` records."""
+    return [
+        Op(OpKind(int(k)), int(a), int(s))
+        for k, a, s in zip(arr["kind"], arr["address"], arr["size"])
+    ]

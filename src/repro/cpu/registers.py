@@ -1,0 +1,48 @@
+"""Architectural register state for one hardware thread.
+
+Only the registers the checkpoint path cares about are modeled: the stack
+pointer (central to SP awareness), a program counter surrogate (op index),
+and a bank of general-purpose registers that the checkpoint manager saves
+alongside memory so that a restored process resumes at its last checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegisterFile:
+    """The architectural state checkpointed per thread."""
+
+    stack_pointer: int = 0
+    op_index: int = 0
+    gprs: list[int] = field(default_factory=lambda: [0] * 16)
+
+    def snapshot(self) -> "RegisterFile":
+        """Deep copy of the register state (used by checkpoints)."""
+        return RegisterFile(
+            stack_pointer=self.stack_pointer,
+            op_index=self.op_index,
+            gprs=list(self.gprs),
+        )
+
+    def restore(self, other: "RegisterFile") -> None:
+        """Overwrite this state from a snapshot (used on recovery)."""
+        self.stack_pointer = other.stack_pointer
+        self.op_index = other.op_index
+        self.gprs = list(other.gprs)
+
+    def push_frame(self, frame_bytes: int) -> int:
+        """Grow the stack downwards by *frame_bytes*; returns the new SP."""
+        if frame_bytes < 0:
+            raise ValueError("frame size must be non-negative")
+        self.stack_pointer -= frame_bytes
+        return self.stack_pointer
+
+    def pop_frame(self, frame_bytes: int) -> int:
+        """Shrink the stack by *frame_bytes*; returns the new SP."""
+        if frame_bytes < 0:
+            raise ValueError("frame size must be non-negative")
+        self.stack_pointer += frame_bytes
+        return self.stack_pointer

@@ -1,0 +1,30 @@
+"""Experiment harness: one entry point per paper figure.
+
+* :mod:`repro.experiments.runner` — shared driver (build engine, scale
+  intervals, collect results).
+* :mod:`repro.experiments.motivation` — Figures 1-4 (Section II).
+* :mod:`repro.experiments.evaluation` — Figures 8-11 (checkpoint
+  performance, Setup-I).
+* :mod:`repro.experiments.overhead` — Figures 12-13, context-switch cost,
+  and the energy/area table (Setup-II).
+"""
+
+from repro.experiments.runner import (
+    RunResult,
+    make_engine,
+    run_mechanism,
+    scaled_interval_cycles,
+)
+from repro.experiments import ablations, evaluation, extensions, motivation, overhead
+
+__all__ = [
+    "RunResult",
+    "make_engine",
+    "run_mechanism",
+    "scaled_interval_cycles",
+    "motivation",
+    "evaluation",
+    "overhead",
+    "ablations",
+    "extensions",
+]

@@ -1,0 +1,166 @@
+"""One-shot reproduction report: every figure, regenerated and rendered.
+
+``python -m repro report --out results/`` writes a self-contained markdown
+document with every experiment's regenerated table plus the qualitative
+verdicts of the shape validation — the same content EXPERIMENTS.md records,
+but produced live from the current code at the requested scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timezone
+
+from repro.analysis.report import format_bytes
+from repro.experiments import evaluation, motivation, overhead
+from repro.experiments.validation import summarize, validate_shapes
+
+
+@dataclass(frozen=True)
+class ReportSection:
+    title: str
+    body_markdown: str
+
+
+def _md_table(headers: list[str], rows: list[list[object]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _fig1_section(ops: int) -> ReportSection:
+    rows = motivation.fig1_stack_fraction(target_ops=ops)
+    table = _md_table(
+        ["workload", "stack op fraction", "stack write fraction"],
+        [[r.workload, f"{r.stack_fraction:.3f}", f"{r.stack_write_fraction:.3f}"] for r in rows],
+    )
+    return ReportSection("Figure 1 — stack share of memory operations", table)
+
+
+def _fig2_section(ops: int) -> ReportSection:
+    rows = motivation.fig2_beyond_final_sp(num_intervals=100, target_ops=ops)
+    table = _md_table(
+        ["workload", "stack writes", "beyond final SP", "fraction"],
+        [[r.workload, r.total_writes, r.total_beyond, f"{r.beyond_fraction:.3f}"] for r in rows],
+    )
+    return ReportSection("Figure 2 — writes beyond the interval-final SP", table)
+
+
+def _fig4_section(ops: int) -> ReportSection:
+    rows = motivation.fig4_copy_size(target_ops=ops)
+    table = _md_table(
+        ["workload", "page copy", "8-byte copy", "reduction"],
+        [
+            [r.workload, format_bytes(r.page_bytes_per_interval),
+             format_bytes(r.byte_bytes_per_interval), f"{r.reduction_factor:.1f}x"]
+            for r in rows
+        ],
+    )
+    return ReportSection("Figure 4 — page vs 8-byte copy size", table)
+
+
+def _fig8_section(ops: int) -> ReportSection:
+    results = evaluation.fig8_stack_persistence(target_ops=ops)
+    table: dict[str, dict[str, float]] = {}
+    for r in results:
+        table.setdefault(r.trace_name, {})[r.mechanism_name] = r.normalized_time
+    mechanisms = sorted(next(iter(table.values())))
+    md = _md_table(
+        ["workload"] + mechanisms,
+        [[w] + [f"{row[m]:.2f}" for m in mechanisms] for w, row in sorted(table.items())],
+    )
+    return ReportSection("Figure 8 — stack persistence (normalized time)", md)
+
+
+def _fig10_section(ops: int) -> ReportSection:
+    cells = evaluation.fig10_usage_patterns(scale=max(0.2, min(1.0, ops / 100_000)))
+    sizes: dict[str, dict] = {}
+    times: dict[str, dict] = {}
+    for c in cells:
+        sizes.setdefault(c.workload, {})[c.granularity] = c.mean_checkpoint_bytes
+        times.setdefault(c.workload, {})[c.granularity] = c.checkpoint_time_vs_dirtybit
+    md = _md_table(
+        ["workload", "size 8B", "size page", "time vs dirtybit (8B)"],
+        [
+            [w, format_bytes(sizes[w][8]), format_bytes(sizes[w]["page"]),
+             f"{times[w][8]:.3f}"]
+            for w in sorted(sizes)
+        ],
+    )
+    return ReportSection("Figure 10 — usage patterns at 8 B granularity", md)
+
+
+def _fig12_section(ops: int) -> ReportSection:
+    cells = overhead.fig12_tracking_overhead(target_ops=ops, granularities=(8,))
+    md = _md_table(
+        ["workload", "speedup", "overhead %"],
+        [[c.workload, f"{c.speedup:.4f}", f"{c.overhead_percent:.2f}"] for c in cells],
+    )
+    mean = sum(c.overhead_percent for c in cells) / len(cells)
+    return ReportSection(
+        "Figure 12 — tracking overhead",
+        md + f"\n\nMean overhead: {mean:.2f} % (paper: <1 % average).",
+    )
+
+
+def _fig13_section(ops: int) -> ReportSection:
+    cells = overhead.fig13_watermark_sensitivity(
+        target_ops=ops, hwm_values=(8, 16, 24, 32), lwm_values=(2, 8, 16)
+    )
+    md = _md_table(
+        ["workload", "HWM", "LWM", "bitmap ops"],
+        [[c.workload, c.hwm, c.lwm, c.memory_ops] for c in cells],
+    )
+    return ReportSection("Figure 13 — HWM/LWM sensitivity", md)
+
+
+def _validation_section(ops: int, seeds: tuple[int, ...]) -> ReportSection:
+    # The lookup-table pressure dynamics behind the mcf HWM trend need a
+    # minimum trace length to manifest; clamp the validation scale.
+    scale = max(20_000, min(ops, 25_000))
+    summary = summarize(validate_shapes(seeds=seeds, target_ops=scale))
+    md = _md_table(
+        ["shape check", "passes", "total"],
+        [[name, p, t] for name, (p, t) in sorted(summary.items())],
+    )
+    all_pass = all(p == t for p, t in summary.values())
+    verdict = "**all shape checks pass**" if all_pass else "**some checks FAILED**"
+    return ReportSection(
+        f"Shape validation across seeds {list(seeds)}", md + f"\n\n{verdict}."
+    )
+
+
+def generate_report(
+    ops: int = 40_000,
+    seeds: tuple[int, ...] = (42, 7),
+    timestamp: str | None = None,
+) -> str:
+    """Build the full markdown report; returns it as a string."""
+    stamp = timestamp or datetime.now(timezone.utc).strftime("%Y-%m-%d %H:%M UTC")
+    sections = [
+        _fig1_section(ops),
+        _fig2_section(ops),
+        _fig4_section(ops),
+        _fig8_section(ops),
+        _fig10_section(ops),
+        _fig12_section(ops),
+        _fig13_section(ops),
+        _validation_section(ops, seeds),
+    ]
+    parts = [
+        "# Prosper reproduction report",
+        "",
+        f"Generated {stamp}; trace scale ~{ops} ops per workload.",
+        "Paper: *Prosper: Program Stack Persistence in Hybrid Memory"
+        " Systems*, HPCA 2024.  See EXPERIMENTS.md for paper-vs-measured"
+        " commentary and DESIGN.md for substitutions.",
+        "",
+    ]
+    for section in sections:
+        parts.append(f"## {section.title}")
+        parts.append("")
+        parts.append(section.body_markdown)
+        parts.append("")
+    return "\n".join(parts)

@@ -1,0 +1,148 @@
+"""Seed-robustness validation of the headline paper shapes.
+
+The benchmark suite asserts each figure's shape at one seed; this module
+re-checks the load-bearing claims across several seeds so a reproduction
+report can state that the orderings are not one-draw luck:
+
+1. Prosper has the lowest normalized time of all mechanisms (Figure 8).
+2. Romulus has the highest (Figure 8).
+3. SSP-10µs costs at least as much as SSP-1ms (Figure 8).
+4. SSP+Prosper beats SSP-everything for full-memory persistence (Figure 9,
+   10 µs setting).
+5. Sub-page tracking reduces the copy size by >5x on every application
+   (Figure 4).
+6. Tracking overhead stays under 2 % per workload (Figure 12).
+7. mcf's bitmap traffic does not improve with a larger HWM while SSSP's
+   does (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments import evaluation, motivation, overhead
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one shape check at one seed."""
+
+    name: str
+    seed: int
+    passed: bool
+    detail: str
+
+
+def _fig8_checks(seed: int, target_ops: int) -> list[CheckResult]:
+    results = evaluation.fig8_stack_persistence(target_ops=target_ops, seed=seed)
+    table: dict[str, dict[str, float]] = {}
+    for r in results:
+        table.setdefault(r.trace_name, {})[r.mechanism_name] = r.normalized_time
+    out = []
+    for workload, row in table.items():
+        best = min(row, key=row.get)
+        worst = max(row, key=row.get)
+        out.append(
+            CheckResult(
+                "fig8-prosper-best", seed, best == "prosper",
+                f"{workload}: best={best} ({row[best]:.2f})",
+            )
+        )
+        out.append(
+            CheckResult(
+                "fig8-romulus-worst", seed, worst == "romulus",
+                f"{workload}: worst={worst} ({row[worst]:.2f})",
+            )
+        )
+        out.append(
+            CheckResult(
+                "fig8-ssp-interval-trend", seed,
+                row["ssp-10us"] >= row["ssp-1ms"] * 0.98,
+                f"{workload}: 10us={row['ssp-10us']:.2f} 1ms={row['ssp-1ms']:.2f}",
+            )
+        )
+    return out
+
+
+def _fig9_checks(seed: int, target_ops: int) -> list[CheckResult]:
+    cells = evaluation.fig9_memory_persistence(
+        target_ops=target_ops, ssp_intervals_us=(10.0,), seed=seed
+    )
+    table: dict[str, dict[str, float]] = {}
+    for c in cells:
+        table.setdefault(c.workload, {})[c.combination] = c.normalized_time
+    return [
+        CheckResult(
+            "fig9-prosper-combo-best", seed,
+            row["ssp+prosper"] <= row["ssp"] * 1.001,
+            f"{workload}: ssp+prosper={row['ssp+prosper']:.2f} ssp={row['ssp']:.2f}",
+        )
+        for workload, row in table.items()
+    ]
+
+
+def _fig4_checks(seed: int, target_ops: int) -> list[CheckResult]:
+    rows = motivation.fig4_copy_size(target_ops=target_ops, seed=seed)
+    return [
+        CheckResult(
+            "fig4-reduction", seed, row.reduction_factor > 5.0,
+            f"{row.workload}: {row.reduction_factor:.1f}x",
+        )
+        for row in rows
+    ]
+
+
+def _fig12_checks(seed: int, target_ops: int) -> list[CheckResult]:
+    cells = overhead.fig12_tracking_overhead(
+        target_ops=target_ops, granularities=(8,), seed=seed
+    )
+    return [
+        CheckResult(
+            "fig12-overhead-small", seed, cell.speedup > 0.98,
+            f"{cell.workload}: speedup={cell.speedup:.4f}",
+        )
+        for cell in cells
+    ]
+
+
+def _fig13_checks(seed: int, target_ops: int) -> list[CheckResult]:
+    cells = overhead.fig13_watermark_sensitivity(
+        target_ops=target_ops, hwm_values=(8, 32), lwm_values=(), seed=seed
+    )
+    by = {(c.workload, c.hwm): c.memory_ops for c in cells}
+    return [
+        CheckResult(
+            "fig13-sssp-hwm-down", seed,
+            by[("g500_sssp", 32)] < by[("g500_sssp", 8)],
+            f"sssp: hwm8={by[('g500_sssp', 8)]} hwm32={by[('g500_sssp', 32)]}",
+        ),
+        CheckResult(
+            "fig13-mcf-hwm-up", seed,
+            by[("605.mcf_s", 32)] > by[("605.mcf_s", 8)] * 0.95,
+            f"mcf: hwm8={by[('605.mcf_s', 8)]} hwm32={by[('605.mcf_s', 32)]}",
+        ),
+    ]
+
+
+def validate_shapes(
+    seeds: tuple[int, ...] = (42, 7, 1234),
+    target_ops: int = 30_000,
+) -> list[CheckResult]:
+    """Run every shape check at every seed; returns the flat result list."""
+    out: list[CheckResult] = []
+    for seed in seeds:
+        out.extend(_fig8_checks(seed, target_ops))
+        out.extend(_fig9_checks(seed, target_ops))
+        out.extend(_fig4_checks(seed, target_ops))
+        out.extend(_fig12_checks(seed, target_ops))
+        out.extend(_fig13_checks(seed, target_ops))
+    return out
+
+
+def summarize(results: list[CheckResult]) -> dict[str, tuple[int, int]]:
+    """Per check name: (passes, total) across seeds/workloads."""
+    summary: dict[str, tuple[int, int]] = {}
+    for r in results:
+        passes, total = summary.get(r.name, (0, 0))
+        summary[r.name] = (passes + (1 if r.passed else 0), total + 1)
+    return summary

@@ -1,0 +1,159 @@
+"""Periodic whole-process checkpointing (the GemOS baseline of Section III-D).
+
+The checkpoint manager captures, every interval, all process state needed to
+resume after a crash:
+
+* per-thread **register files** (including SP and the op index, our program
+  counter surrogate);
+* per-thread **stack images**, via whichever dirty-tracking mechanism the
+  process is configured with (Prosper sub-page runs or page-granularity
+  dirty bits) — incremental: only dirtied data is copied;
+* process **metadata** (thread list, layout) as a small fixed-cost record.
+
+Each checkpoint is written to NVM using the two-step staging/commit protocol
+so a crash at any point leaves either the previous or the new checkpoint
+fully intact.  :mod:`repro.kernel.restore` consumes the records produced
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bitmap import DirtyRun
+from repro.core.checkpoint import ProsperCheckpointEngine
+from repro.core.tracker import ProsperTracker
+from repro.cpu.registers import RegisterFile
+from repro.kernel.process import Process, Thread
+from repro.memory.hierarchy import MemoryHierarchy
+
+#: Fixed cost of capturing non-memory state (registers, fds, metadata).
+METADATA_CAPTURE_CYCLES = 800
+#: Bytes of the metadata record persisted per checkpoint.
+METADATA_BYTES = 512
+
+
+@dataclass
+class ThreadSnapshot:
+    """Persistent record of one thread at a checkpoint."""
+
+    tid: int
+    registers: RegisterFile
+    dirty_runs: list[DirtyRun] = field(default_factory=list)
+    copied_bytes: int = 0
+
+
+@dataclass
+class ProcessCheckpoint:
+    """One committed process checkpoint in NVM."""
+
+    sequence: int
+    threads: list[ThreadSnapshot]
+    committed: bool = False
+
+    @property
+    def total_bytes(self) -> int:
+        return METADATA_BYTES + sum(t.copied_bytes for t in self.threads)
+
+
+class CheckpointManager:
+    """Drives periodic checkpoints of one process."""
+
+    def __init__(
+        self,
+        process: Process,
+        hierarchy: MemoryHierarchy,
+        tracker: ProsperTracker | None = None,
+    ) -> None:
+        self.process = process
+        self.hierarchy = hierarchy
+        self.tracker = tracker
+        self.checkpoints: list[ProcessCheckpoint] = []
+        self._engines: dict[int, ProsperCheckpointEngine] = {}
+        self._sequence = 0
+
+    def _walk_bound(self, thread: Thread) -> int:
+        """Lowest address whose bitmap words the OS must inspect/clear.
+
+        Combines the thread's SP with the tracker's lowest dirty address —
+        taken from the live tracker when the thread is current, or from the
+        tracker state saved at its last context switch (Section III-C).
+        The bound must cover dead frames too, so stale dirty bits below the
+        final SP are cleared rather than leaking into later checkpoints.
+        """
+        candidates = [thread.registers.stack_pointer]
+        if self.tracker is not None and self.tracker.bitmap is thread.bitmap:
+            if self.tracker.min_dirty_address is not None:
+                candidates.append(self.tracker.min_dirty_address)
+        elif thread.tracker_state is not None and thread.tracker_state.min_dirty_address:
+            candidates.append(thread.tracker_state.min_dirty_address)
+        return max(thread.stack.start, min(candidates))
+
+    def _engine_for(self, thread: Thread) -> ProsperCheckpointEngine | None:
+        if thread.bitmap is None or self.tracker is None:
+            return None
+        engine = self._engines.get(thread.tid)
+        if engine is None:
+            engine = ProsperCheckpointEngine(
+                self.tracker, thread.bitmap, self.hierarchy
+            )
+            self._engines[thread.tid] = engine
+        return engine
+
+    def checkpoint_process(self, crash_during_commit: bool = False) -> tuple[ProcessCheckpoint, int]:
+        """Capture one full process checkpoint; returns (record, cycles).
+
+        With *crash_during_commit* set, the checkpoint is staged but the
+        commit flag never flips — simulating a power failure mid-commit for
+        the recovery tests.
+        """
+        cycles = METADATA_CAPTURE_CYCLES
+        cycles += self.hierarchy.copy_dram_to_nvm(METADATA_BYTES)
+
+        snapshots: list[ThreadSnapshot] = []
+        for thread in self.process.iter_threads():
+            snap = ThreadSnapshot(thread.tid, thread.registers.snapshot())
+            engine = self._engine_for(thread)
+            if engine is not None:
+                result = engine.checkpoint(
+                    self._sequence,
+                    active_low_hint=self._walk_bound(thread),
+                    final_sp=thread.registers.stack_pointer,
+                    crash_after_stage=crash_during_commit,
+                )
+                snap.copied_bytes = result.copied_bytes
+                snap.dirty_runs = (
+                    engine.staged.runs if engine.staged is not None else []
+                )
+                cycles += result.cycles
+            snapshots.append(snap)
+
+        record = ProcessCheckpoint(self._sequence, snapshots)
+        if not crash_during_commit:
+            # Flip the commit record (a small ordered NVM write).
+            if self.hierarchy.nvm is not None:
+                cycles += self.hierarchy.nvm.write(8, self.hierarchy.now)
+                cycles += self.hierarchy.persist_barrier()
+            record.committed = True
+        self.checkpoints.append(record)
+        self._sequence += 1
+        return record, cycles
+
+    @property
+    def last_committed(self) -> ProcessCheckpoint | None:
+        for record in reversed(self.checkpoints):
+            if record.committed:
+                return record
+        return None
+
+    def complete_staged_commits(self) -> int:
+        """Recovery helper: finish any staged-but-uncommitted thread commits.
+
+        Returns the number of thread engines whose staged data was applied.
+        """
+        completed = 0
+        for engine in self._engines.values():
+            if engine.staged is not None and not engine.staged.committed:
+                engine.recover_staged()
+                completed += 1
+        return completed

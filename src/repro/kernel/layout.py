@@ -1,0 +1,93 @@
+"""Process address-space layout over hybrid DRAM+NVM memory.
+
+The layout places the mutable segments of a process and the Prosper
+metadata areas:
+
+* per-thread **stacks** in DRAM (high addresses, growing down), each with a
+  guard gap;
+* the **heap** in DRAM (low addresses, growing up);
+* per-thread **dirty bitmap areas** in DRAM (tracker-written metadata);
+* per-thread **persistent stacks** and the **staging buffer** in NVM
+  (checkpoint destinations).
+
+Only address arithmetic lives here — the layout is what the OS tells the
+Prosper hardware (via MSRs) and what the checkpoint engines consult.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.address import AddressRange, align_up
+
+#: Defaults mirroring a classic 48-bit user layout, scaled down.
+DEFAULT_STACK_TOP = 0x7FFF_F000
+DEFAULT_STACK_LIMIT = 8 * 1024 * 1024
+DEFAULT_GUARD_BYTES = 64 * 1024
+DEFAULT_HEAP_BASE = 0x1000_0000
+DEFAULT_BITMAP_BASE = 0x6000_0000
+DEFAULT_NVM_BASE = 0xF000_0000
+
+
+@dataclass
+class AddressSpaceLayout:
+    """Address-space geometry for one process."""
+
+    stack_top: int = DEFAULT_STACK_TOP
+    stack_limit: int = DEFAULT_STACK_LIMIT
+    guard_bytes: int = DEFAULT_GUARD_BYTES
+    heap_base: int = DEFAULT_HEAP_BASE
+    heap_limit: int = 256 * 1024 * 1024
+    bitmap_base: int = DEFAULT_BITMAP_BASE
+    nvm_base: int = DEFAULT_NVM_BASE
+    _next_stack_top: int = field(init=False)
+    _next_bitmap: int = field(init=False)
+    _next_nvm: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._next_stack_top = self.stack_top
+        self._next_bitmap = self.bitmap_base
+        self._next_nvm = self.nvm_base
+
+    @property
+    def heap_range(self) -> AddressRange:
+        return AddressRange(self.heap_base, self.heap_base + self.heap_limit)
+
+    def allocate_stack(self, size: int | None = None) -> AddressRange:
+        """Carve a stack for a new thread (top-down, with a guard gap)."""
+        size = size or self.stack_limit
+        top = self._next_stack_top
+        start = top - size
+        if start <= self.heap_range.end:
+            raise MemoryError("address space exhausted allocating a stack")
+        self._next_stack_top = start - self.guard_bytes
+        return AddressRange(start, top)
+
+    def allocate_bitmap_area(self, stack: AddressRange, granularity: int) -> int:
+        """Reserve a DRAM bitmap area for *stack*; returns its base address.
+
+        One bit per granule, rounded to whole 4-byte words, padded to 64
+        bytes so distinct threads' bitmaps never share cache lines.
+        """
+        granules = -(-stack.size // granularity)
+        words = -(-granules // 32)
+        size = align_up(words * 4, 64)
+        base = self._next_bitmap
+        self._next_bitmap += size
+        return base
+
+    def allocate_persistent_stack(self, stack: AddressRange) -> AddressRange:
+        """Reserve the NVM region holding a thread's persistent stack image."""
+        base = self._next_nvm
+        self._next_nvm += align_up(stack.size, 4096)
+        return AddressRange(base, base + stack.size)
+
+    def allocate_staging_buffer(self, size: int) -> AddressRange:
+        """Reserve the NVM staging buffer used by two-step commits."""
+        base = self._next_nvm
+        self._next_nvm += align_up(size, 4096)
+        return AddressRange(base, base + size)
+
+    def is_nvm_address(self, address: int) -> bool:
+        """True when *address* falls in the NVM-mapped portion."""
+        return address >= self.nvm_base

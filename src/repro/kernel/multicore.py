@@ -1,0 +1,183 @@
+"""Multi-core execution: per-core Prosper trackers, parallel threads.
+
+Section III-C: "Prosper's per hardware thread dirty tracker can track the
+stack modifications of software threads and set bit(s) in the dedicated
+bitmap areas."  This module runs N software threads across M cores, each
+core with its own :class:`~repro.core.tracker.ProsperTracker` and
+scheduler; wall-clock time advances as the maximum over cores between
+checkpoint barriers (checkpoints are process-wide and synchronize all
+cores, like a stop-the-world OS checkpoint).
+
+The single-core path lives in :mod:`repro.kernel.simulation`; this class
+generalizes it and reuses the same checkpoint manager and crash/recovery
+machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig, setup_i
+from repro.core.tracker import ProsperTracker
+from repro.cpu.ops import Op, OpKind
+from repro.kernel.checkpoint_mgr import CheckpointManager
+from repro.kernel.process import Process, Thread
+from repro.kernel.restore import CrashSimulator, RecoveryReport
+from repro.kernel.scheduler import Scheduler
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+@dataclass
+class CoreState:
+    """One logical CPU: its tracker, scheduler, run queue, and clock."""
+
+    index: int
+    tracker: ProsperTracker
+    scheduler: Scheduler
+    hierarchy: MemoryHierarchy
+    #: (thread, ops, cursor) tuples assigned to this core.
+    queue: list[tuple[Thread, list[Op], int]] = field(default_factory=list)
+    clock: int = 0
+
+    def has_work(self) -> bool:
+        return any(cursor < len(ops) for _, ops, cursor in self.queue)
+
+
+@dataclass
+class MultiCoreStats:
+    ops_executed: int = 0
+    #: Wall-clock cycles: max core clock at every barrier, summed.
+    wall_cycles: int = 0
+    #: Sum of all cores' busy cycles (for utilization).
+    busy_cycles: int = 0
+    checkpoints: int = 0
+    switches: int = 0
+
+    @property
+    def utilization(self) -> float:
+        if self.wall_cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.wall_cycles
+
+
+class MultiCoreSimulation:
+    """Threads distributed round-robin over cores, checkpointed globally."""
+
+    def __init__(
+        self,
+        thread_ops: list[list[Op]],
+        num_cores: int = 2,
+        stack_bytes: int = 512 * 1024,
+        quantum_ops: int = 500,
+        checkpoint_every_rounds: int = 5,
+        config: SystemConfig | None = None,
+    ) -> None:
+        if not thread_ops:
+            raise ValueError("need at least one thread")
+        if num_cores <= 0:
+            raise ValueError("need at least one core")
+        self.config = config or setup_i()
+        self.process = Process(name="mc-sim")
+        self.quantum_ops = quantum_ops
+        self.checkpoint_every_rounds = checkpoint_every_rounds
+        self.stats = MultiCoreStats()
+
+        # Shared memory-side state: checkpoints target one NVM device; for
+        # simplicity each core gets its own hierarchy front-end (private
+        # caches) but the checkpoint manager uses core 0's.
+        self.cores: list[CoreState] = []
+        for index in range(num_cores):
+            tracker = ProsperTracker(self.process.tracker_config)
+            self.cores.append(
+                CoreState(
+                    index=index,
+                    tracker=tracker,
+                    scheduler=Scheduler(tracker),
+                    hierarchy=MemoryHierarchy(self.config),
+                )
+            )
+        self.manager = CheckpointManager(
+            self.process, self.cores[0].hierarchy, self.cores[0].tracker
+        )
+        self.crash_sim = CrashSimulator(self.process, self.manager)
+
+        for i, ops in enumerate(thread_ops):
+            thread = self.process.spawn_thread(stack_bytes, persistent=True)
+            self.cores[i % num_cores].queue.append((thread, ops, 0))
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> MultiCoreStats:
+        rounds = 0
+        while any(core.has_work() for core in self.cores):
+            for core in self.cores:
+                self._run_round(core)
+            rounds += 1
+            # Barrier: wall clock advances to the slowest core.
+            barrier = max(core.clock for core in self.cores)
+            for core in self.cores:
+                self.stats.busy_cycles += core.clock
+                core.clock = 0
+            self.stats.wall_cycles += barrier
+            if rounds % self.checkpoint_every_rounds == 0:
+                self._checkpoint()
+        self._checkpoint()
+        return self.stats
+
+    def _run_round(self, core: CoreState) -> None:
+        """Give each runnable thread on *core* one quantum."""
+        for slot, (thread, ops, cursor) in enumerate(core.queue):
+            if cursor >= len(ops):
+                continue
+            core.clock += core.scheduler.switch_to(thread)
+            self.stats.switches += 1
+            end = min(cursor + self.quantum_ops, len(ops))
+            core.clock += self._execute(core, thread, ops[cursor:end])
+            core.queue[slot] = (thread, ops, end)
+
+    def _execute(self, core: CoreState, thread: Thread, ops: list[Op]) -> int:
+        cycles = 0
+        regs = thread.registers
+        for op in ops:
+            kind = op.kind
+            if kind == OpKind.COMPUTE:
+                cycles += op.size
+            elif kind == OpKind.CALL:
+                regs.push_frame(op.size)
+                cycles += 1
+            elif kind == OpKind.RET:
+                regs.pop_frame(op.size)
+                cycles += 1
+            else:
+                result = core.hierarchy.access(
+                    op.address, op.size, kind == OpKind.WRITE
+                )
+                cycles += result.latency_cycles
+                if kind == OpKind.WRITE and thread.stack.contains(op.address):
+                    cycles += core.tracker.observe_store(op.address, op.size)
+            regs.op_index += 1
+            self.stats.ops_executed += 1
+        return cycles
+
+    def _checkpoint(self) -> None:
+        """Stop-the-world checkpoint: quiesce every core's tracker first."""
+        for core in self.cores:
+            current = core.scheduler.current
+            if current is not None and current.persistent:
+                core.tracker.request_flush()
+                core.tracker.poll_quiescent()
+        _, cycles = self.manager.checkpoint_process()
+        self.stats.checkpoints += 1
+        self.stats.wall_cycles += cycles
+
+    # ------------------------------------------------------------------ #
+    # Crash / recovery passthrough
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        self.crash_sim.crash()
+
+    def recover(self) -> RecoveryReport:
+        return self.crash_sim.recover()

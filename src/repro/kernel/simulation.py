@@ -1,0 +1,215 @@
+"""End-to-end multithreaded simulation: threads, quanta, checkpoints.
+
+Combines the substrate pieces into the full system of Section III-C: a
+process with several persistent threads time-shared on one logical CPU.
+The simulation interleaves each thread's trace in scheduler quanta; on
+every switch the scheduler saves/restores the Prosper tracker state, and a
+periodic checkpoint captures every thread's registers plus the dirty stack
+data its bitmap accumulated — whichever core its stores ran on.
+
+This is the layer the two-thread context-switch study runs on, and it is
+exercised directly by the integration tests (all threads' modifications
+must survive a crash regardless of how the scheduler interleaved them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig, setup_i
+from repro.core.tracker import ProsperTracker
+from repro.cpu.ops import Op, OpKind
+from repro.kernel.checkpoint_mgr import CheckpointManager
+from repro.kernel.process import Process, Thread
+from repro.kernel.restore import CrashSimulator, RecoveryReport
+from repro.kernel.scheduler import Scheduler
+from repro.memory.address import AddressRange
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.image import ByteImage
+
+
+@dataclass
+class SimulationStats:
+    """Accounting of one multithreaded run."""
+
+    ops_executed: int = 0
+    cycles: int = 0
+    switches: int = 0
+    checkpoints: int = 0
+    checkpoint_cycles: int = 0
+    per_thread_ops: dict[int, int] = field(default_factory=dict)
+
+
+class MultiThreadSimulation:
+    """Round-robin execution of per-thread traces with Prosper persistence."""
+
+    def __init__(
+        self,
+        thread_ops: list[list[Op]],
+        stack_bytes: int = 512 * 1024,
+        quantum_ops: int = 500,
+        checkpoint_every_quanta: int = 10,
+        config: SystemConfig | None = None,
+    ) -> None:
+        if not thread_ops:
+            raise ValueError("need at least one thread")
+        if quantum_ops <= 0 or checkpoint_every_quanta <= 0:
+            raise ValueError("quantum and checkpoint period must be positive")
+        self.config = config or setup_i()
+        self.process = Process(name="sim")
+        self.hierarchy = MemoryHierarchy(self.config)
+        self.tracker = ProsperTracker(self.process.tracker_config)
+        self.scheduler = Scheduler(self.tracker)
+        self.manager = CheckpointManager(self.process, self.hierarchy, self.tracker)
+        self.crash_sim = CrashSimulator(self.process, self.manager)
+        self.quantum_ops = quantum_ops
+        self.checkpoint_every_quanta = checkpoint_every_quanta
+        self.stats = SimulationStats()
+
+        self._streams: list[tuple[Thread, list[Op], int]] = []
+        #: Actual stack contents: volatile DRAM image + persistent NVM
+        #: image per thread, used to validate data integrity across crashes.
+        self.dram_images: dict[int, ByteImage] = {}
+        self.nvm_images: dict[int, ByteImage] = {}
+        for ops in thread_ops:
+            thread = self.process.spawn_thread(stack_bytes, persistent=True)
+            self._streams.append((thread, ops, 0))
+            self.dram_images[thread.tid] = ByteImage()
+            self.nvm_images[thread.tid] = ByteImage()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def run(self, stop_after_quanta: int | None = None) -> SimulationStats:
+        """Run every thread's trace to completion, checkpointing as we go.
+
+        *stop_after_quanta* halts execution early (mid-run), which the
+        crash/resume tests use to inject failures at arbitrary points.
+        """
+        quanta = 0
+        while any(cursor < len(ops) for _, ops, cursor in self._streams):
+            for index, (thread, ops, cursor) in enumerate(self._streams):
+                if cursor >= len(ops):
+                    continue
+                self.stats.cycles += self.scheduler.switch_to(thread)
+                self.stats.switches += 1
+                end = min(cursor + self.quantum_ops, len(ops))
+                self._execute_slice(thread, ops, cursor, end)
+                self._streams[index] = (thread, ops, end)
+                quanta += 1
+                if quanta % self.checkpoint_every_quanta == 0:
+                    self._checkpoint()
+                if stop_after_quanta is not None and quanta >= stop_after_quanta:
+                    return self.stats
+        self._checkpoint()
+        return self.stats
+
+    def resume(self) -> SimulationStats:
+        """Continue execution after :meth:`recover`.
+
+        Each thread's trace cursor is rewound to the op index its restored
+        registers carry — exactly where the last committed checkpoint saw
+        it — and execution proceeds to completion.  Work done after that
+        checkpoint is re-executed, which is the checkpoint-resume semantics
+        the paper validates by killing and restarting gem5.
+        """
+        for index, (thread, ops, _cursor) in enumerate(self._streams):
+            self._streams[index] = (thread, ops, thread.registers.op_index)
+        # The crash wiped the tracker: the next switch reprograms it.
+        self.scheduler.current = None
+        return self.run()
+
+    def _execute_slice(self, thread: Thread, ops: list[Op], start: int, end: int) -> None:
+        regs = thread.registers
+        for op in ops[start:end]:
+            kind = op.kind
+            if kind == OpKind.COMPUTE:
+                self.stats.cycles += op.size
+            elif kind == OpKind.CALL:
+                regs.push_frame(op.size)
+                self.stats.cycles += 1
+            elif kind == OpKind.RET:
+                regs.pop_frame(op.size)
+                self.stats.cycles += 1
+            else:
+                result = self.hierarchy.access(
+                    op.address, op.size, kind == OpKind.WRITE
+                )
+                self.stats.cycles += result.latency_cycles
+                if kind == OpKind.WRITE:
+                    if thread.stack.contains(op.address):
+                        self.stats.cycles += self.tracker.observe_store(
+                            op.address, op.size
+                        )
+                        # Deterministic content: value derives from the
+                        # writing thread and its op position, so recovery
+                        # checks can recompute expected bytes.
+                        self.dram_images[thread.tid].write(
+                            op.address, (thread.tid << 32) | regs.op_index
+                        )
+                    elif self.process.handle_cross_thread_write(
+                        thread.tid, op.address, op.size
+                    ):
+                        # Cross-thread stack write: the OS fault path
+                        # recorded it in the victim's bitmap.
+                        self.stats.cycles += 2500
+                        for victim in self.process.iter_threads():
+                            if victim.stack.contains(op.address):
+                                self.dram_images[victim.tid].write(
+                                    op.address, (thread.tid << 32) | regs.op_index
+                                )
+            regs.op_index += 1
+            self.stats.ops_executed += 1
+        self.stats.per_thread_ops[thread.tid] = regs.op_index
+        self.hierarchy.now = self.stats.cycles
+
+    def _checkpoint(self) -> None:
+        # The current thread's tracker state must be flushed so its bitmap
+        # is complete before the manager walks it.
+        current = self.scheduler.current
+        if current is not None and current.persistent:
+            self.tracker.request_flush()
+            self.tracker.poll_quiescent()
+        record, cycles = self.manager.checkpoint_process()
+        # Apply the dirty runs to each thread's persistent (NVM) image —
+        # the data that survives a power failure.
+        for snap in record.threads:
+            nvm = self.nvm_images[snap.tid]
+            dram = self.dram_images[snap.tid]
+            for run in snap.dirty_runs:
+                nvm.copy_range_from(dram, AddressRange(run.start, run.end))
+        self.stats.checkpoints += 1
+        self.stats.checkpoint_cycles += cycles
+        self.stats.cycles += cycles
+
+    # ------------------------------------------------------------------ #
+    # Crash / recovery passthrough
+    # ------------------------------------------------------------------ #
+
+    def crash(self) -> None:
+        """Power failure: volatile state (registers, DRAM images) vanishes."""
+        self.crash_sim.crash()
+        for image in self.dram_images.values():
+            image.clear()
+
+    def recover(self) -> RecoveryReport:
+        """Restart: registers restore from the last committed checkpoint and
+        each thread's DRAM stack image is repopulated from its persistent
+        NVM image."""
+        report = self.crash_sim.recover()
+        if report.recovered:
+            for thread in self.process.iter_threads():
+                self.dram_images[thread.tid].copy_range_from(
+                    self.nvm_images[thread.tid], thread.stack
+                )
+        return report
+
+    def verify_recovered_contents(self) -> bool:
+        """Check every thread's restored stack equals its persistent image."""
+        return all(
+            self.dram_images[t.tid].equals_in_range(
+                self.nvm_images[t.tid], t.stack
+            )
+            for t in self.process.iter_threads()
+        )

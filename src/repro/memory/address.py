@@ -1,0 +1,135 @@
+"""Address arithmetic shared across the simulator.
+
+Everything in the simulator operates on integer virtual addresses.  These
+helpers centralize page / cache-line / tracking-granule math so that the
+dirty-tracking mechanisms, caches, and checkpoint engines agree on how an
+address maps onto chunks of a given size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.config import CACHE_LINE_BYTES, PAGE_BYTES
+
+
+def align_down(address: int, alignment: int) -> int:
+    """Round *address* down to a multiple of *alignment* (a power of two or not)."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return (address // alignment) * alignment
+
+
+def align_up(address: int, alignment: int) -> int:
+    """Round *address* up to a multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return -(-address // alignment) * alignment
+
+
+def page_index(address: int, page_bytes: int = PAGE_BYTES) -> int:
+    """Index of the OS page containing *address*."""
+    return address // page_bytes
+
+
+def line_index(address: int, line_bytes: int = CACHE_LINE_BYTES) -> int:
+    """Index of the cache line containing *address*."""
+    return address // line_bytes
+
+
+def granule_index(address: int, granularity: int) -> int:
+    """Index of the tracking granule containing *address*."""
+    return address // granularity
+
+
+def span_pages(address: int, size: int, page_bytes: int = PAGE_BYTES) -> range:
+    """Page indices touched by an access of *size* bytes at *address*."""
+    if size <= 0:
+        return range(0)
+    first = address // page_bytes
+    last = (address + size - 1) // page_bytes
+    return range(first, last + 1)
+
+
+def span_lines(address: int, size: int, line_bytes: int = CACHE_LINE_BYTES) -> range:
+    """Cache-line indices touched by an access of *size* bytes at *address*."""
+    if size <= 0:
+        return range(0)
+    first = address // line_bytes
+    last = (address + size - 1) // line_bytes
+    return range(first, last + 1)
+
+
+def span_granules(address: int, size: int, granularity: int) -> range:
+    """Tracking-granule indices touched by an access of *size* bytes."""
+    if size <= 0:
+        return range(0)
+    first = address // granularity
+    last = (address + size - 1) // granularity
+    return range(first, last + 1)
+
+
+@dataclass(frozen=True, order=True)
+class AddressRange:
+    """A half-open virtual address range ``[start, end)``.
+
+    Used for stack bounds (the two Prosper MSRs hold exactly such a range),
+    heap bounds, and bitmap areas.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid range [{self.start:#x}, {self.end:#x})")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        """True when *address* lies inside the range."""
+        return self.start <= address < self.end
+
+    def contains_access(self, address: int, size: int = 1) -> bool:
+        """True when the whole access ``[address, address+size)`` lies inside."""
+        return self.start <= address and address + size <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "AddressRange") -> "AddressRange | None":
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return AddressRange(start, end)
+
+    def pages(self, page_bytes: int = PAGE_BYTES) -> range:
+        """Indices of every page overlapping the range."""
+        if self.size == 0:
+            return range(0)
+        return span_pages(self.start, self.size, page_bytes)
+
+    def granules(self, granularity: int) -> range:
+        """Indices of every tracking granule overlapping the range."""
+        if self.size == 0:
+            return range(0)
+        return span_granules(self.start, self.size, granularity)
+
+    def iter_chunks(self, chunk_bytes: int) -> Iterator["AddressRange"]:
+        """Split the range into aligned chunks of *chunk_bytes*.
+
+        The first and last chunk may be partial.  Useful for charging bulk
+        copies chunk by chunk.
+        """
+        cursor = self.start
+        while cursor < self.end:
+            boundary = align_down(cursor, chunk_bytes) + chunk_bytes
+            yield AddressRange(cursor, min(boundary, self.end))
+            cursor = boundary
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AddressRange({self.start:#x}, {self.end:#x})"

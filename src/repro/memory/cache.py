@@ -1,0 +1,121 @@
+"""Set-associative write-back cache with LRU replacement.
+
+The hierarchy (L1D/L2/L3 from Table II) is modeled functionally: a cache
+holds line tags, tracks dirtiness, and reports hit/miss so the hierarchy can
+charge the right latency.  No data payload is stored — the simulator's
+"memory contents" live with the workload, not the cache model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+        self.evictions = 0
+
+
+class Cache:
+    """One level of a write-back, write-allocate cache.
+
+    Each set is an :class:`OrderedDict` mapping line tag to a dirty flag,
+    ordered least- to most-recently used.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.stats = CacheStats()
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self._set_mask = config.num_sets - 1
+        self._power_of_two_sets = config.num_sets & (config.num_sets - 1) == 0
+
+    def _set_for(self, line: int) -> OrderedDict[int, bool]:
+        if self._power_of_two_sets:
+            return self._sets[line & self._set_mask]
+        return self._sets[line % self.config.num_sets]
+
+    def lookup(self, line: int) -> bool:
+        """Probe for *line* without changing replacement state."""
+        return line in self._set_for(line)
+
+    def access(self, line: int, is_write: bool) -> tuple[bool, int | None]:
+        """Access cache *line*; returns ``(hit, writeback_victim_line)``.
+
+        On a miss the line is allocated (write-allocate) and the LRU victim,
+        if dirty, is returned so the caller can charge a write-back.
+        """
+        cache_set = self._set_for(line)
+        if line in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(line)
+            if is_write:
+                cache_set[line] = True
+            return True, None
+
+        self.stats.misses += 1
+        victim_writeback: int | None = None
+        if len(cache_set) >= self.config.associativity:
+            victim_line, victim_dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+                victim_writeback = victim_line
+        cache_set[line] = is_write
+        return False, victim_writeback
+
+    def invalidate(self, line: int) -> bool:
+        """Drop *line*; returns True if the line was present and dirty."""
+        cache_set = self._set_for(line)
+        dirty = cache_set.pop(line, False)
+        return bool(dirty)
+
+    def clean(self, line: int) -> bool:
+        """Write back *line* if present and dirty (clwb); keep it resident.
+
+        Returns True when a write-back to the next level is required.
+        """
+        cache_set = self._set_for(line)
+        if line in cache_set and cache_set[line]:
+            cache_set[line] = False
+            self.stats.writebacks += 1
+            return True
+        return False
+
+    def flush_all(self) -> int:
+        """Invalidate everything; returns the number of dirty lines dropped."""
+        dirty = 0
+        for cache_set in self._sets:
+            dirty += sum(1 for d in cache_set.values() if d)
+            cache_set.clear()
+        self.stats.writebacks += dirty
+        return dirty
+
+    @property
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,209 @@
+"""Backing-store device models: DRAM and PCM-like NVM.
+
+The paper's hybrid machine (Setup-I) keeps application state in DRAM and
+checkpoints in NVM.  The NVM model captures the two properties that matter
+for the evaluation:
+
+* **asymmetric latency** — reads a few times slower than DRAM, writes far
+  slower still, so mechanisms that keep the stack in NVM (Romulus, SSP,
+  flush/undo/redo) pay dearly for the stack's write intensity;
+* **limited write buffering** — a 48-entry write buffer absorbs bursts but
+  back-pressures when full, so bursty persist traffic degrades further.
+
+Both devices account simple statistics (access counts, bytes moved) used by
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CACHE_LINE_BYTES, DramConfig, NvmConfig
+
+
+@dataclass
+class DeviceStats:
+    """Counters accumulated by a memory device."""
+
+    reads: int = 0
+    writes: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.read_bytes = 0
+        self.write_bytes = 0
+
+
+class MemoryDevice:
+    """Base class for timing models of a memory device.
+
+    Subclasses provide fixed per-access latencies; :meth:`read` / :meth:`write`
+    return the latency in CPU cycles for an access of the given size and
+    update statistics.  Bulk transfers (checkpoint copies) should use
+    :meth:`bulk_read` / :meth:`bulk_write`, which charge a bandwidth-based
+    cost instead of a per-line latency chain.
+    """
+
+    name = "memory"
+
+    def __init__(
+        self,
+        read_latency_cycles: int,
+        write_latency_cycles: int,
+        bandwidth_gbps: float,
+        freq_hz: int = 3_000_000_000,
+    ) -> None:
+        self.read_latency_cycles = read_latency_cycles
+        self.write_latency_cycles = write_latency_cycles
+        self.bandwidth_gbps = bandwidth_gbps
+        self.freq_hz = freq_hz
+        self.stats = DeviceStats()
+        # Cycles needed to stream one byte at peak bandwidth.
+        self._cycles_per_byte = freq_hz / (bandwidth_gbps * 1e9)
+
+    def read(self, size: int = CACHE_LINE_BYTES) -> int:
+        """Latency in cycles of a demand read of *size* bytes."""
+        self.stats.reads += 1
+        self.stats.read_bytes += size
+        return self.read_latency_cycles
+
+    def write(self, size: int = CACHE_LINE_BYTES) -> int:
+        """Latency in cycles of a demand write of *size* bytes."""
+        self.stats.writes += 1
+        self.stats.write_bytes += size
+        return self.write_latency_cycles
+
+    def stream_cycles(self, size: int) -> int:
+        """Bandwidth-limited cycles to stream *size* bytes (no latency part)."""
+        if size <= 0:
+            return 0
+        return round(size * self._cycles_per_byte)
+
+    def bulk_read(self, size: int, latency_scale: float = 1.0) -> int:
+        """Cycles to stream *size* bytes out of the device.
+
+        Charged as one access latency plus bandwidth-limited streaming; this
+        models the OS copying a coalesced dirty run during a checkpoint.
+        *latency_scale* rescales the fixed latency portion — the experiment
+        runner uses it to keep fixed per-event costs consistent with its
+        compressed wall clock (see repro.experiments.runner).
+        """
+        if size <= 0:
+            return 0
+        self.stats.reads += 1
+        self.stats.read_bytes += size
+        return round(self.read_latency_cycles * latency_scale) + self.stream_cycles(size)
+
+    def bulk_write(self, size: int, latency_scale: float = 1.0) -> int:
+        """Cycles to stream *size* bytes into the device."""
+        if size <= 0:
+            return 0
+        self.stats.writes += 1
+        self.stats.write_bytes += size
+        return round(self.write_latency_cycles * latency_scale) + self.stream_cycles(size)
+
+
+class DramDevice(MemoryDevice):
+    """DDR4-2400-like volatile memory (Table II)."""
+
+    name = "dram"
+
+    def __init__(self, config: DramConfig | None = None, freq_hz: int = 3_000_000_000):
+        config = config or DramConfig()
+        super().__init__(
+            config.read_latency_cycles,
+            config.write_latency_cycles,
+            config.bandwidth_gbps,
+            freq_hz,
+        )
+        self.config = config
+
+
+@dataclass
+class _WriteBuffer:
+    """Drain-rate model of the NVM write buffer.
+
+    Writes enter the buffer instantly while it has space; the device drains
+    one entry per write latency.  When the buffer is full an incoming write
+    stalls until an entry drains, which is how bursty persist traffic (e.g.
+    per-store clwb in the flush baseline) sees far worse latency than the
+    nominal device write time.
+    """
+
+    entries: int
+    drain_cycles: int
+    occupancy: int = 0
+    next_drain_at: int = 0
+    stall_cycles_total: int = 0
+
+    def push(self, now: int) -> int:
+        """Admit one write at cycle *now*; return the stall cycles incurred."""
+        # Drain completed entries since we last looked.
+        if self.occupancy and now >= self.next_drain_at:
+            drained = 1 + (now - self.next_drain_at) // self.drain_cycles
+            self.occupancy = max(0, self.occupancy - drained)
+            self.next_drain_at = now + self.drain_cycles
+        stall = 0
+        if self.occupancy >= self.entries:
+            # Wait for the oldest entry to drain.
+            stall = max(0, self.next_drain_at - now)
+            self.occupancy -= 1
+            self.next_drain_at += self.drain_cycles
+        if self.occupancy == 0:
+            self.next_drain_at = now + stall + self.drain_cycles
+        self.occupancy += 1
+        self.stall_cycles_total += stall
+        return stall
+
+
+class NvmDevice(MemoryDevice):
+    """PCM-like byte-addressable NVM with read/write buffering (Table II)."""
+
+    name = "nvm"
+
+    def __init__(self, config: NvmConfig | None = None, freq_hz: int = 3_000_000_000):
+        config = config or NvmConfig()
+        super().__init__(
+            config.read_latency_cycles,
+            config.write_latency_cycles,
+            config.bandwidth_gbps,
+            freq_hz,
+        )
+        self.config = config
+        self._write_buffer = _WriteBuffer(
+            entries=config.write_buffer_entries,
+            drain_cycles=max(1, config.write_latency_cycles // config.write_banks),
+        )
+
+    def write(self, size: int = CACHE_LINE_BYTES, now: int = 0) -> int:
+        """Latency of a persist write, including write-buffer back-pressure.
+
+        *now* is the current simulation cycle; callers that do not track
+        global time may leave it at 0, degrading gracefully to a
+        buffer-occupancy-only model.
+        """
+        self.stats.writes += 1
+        self.stats.write_bytes += size
+        stall = self._write_buffer.push(now)
+        # Entering the buffer is fast; the visible cost is buffer admission
+        # plus any stall.  A small constant admission cost stands in for the
+        # on-DIMM controller path.
+        admission = max(4, self.write_latency_cycles // 8)
+        return admission + stall
+
+    def persist_barrier(self, now: int = 0) -> int:
+        """Cycles to drain the write buffer (sfence + pending persists)."""
+        buf = self._write_buffer
+        if buf.occupancy == 0:
+            return 0
+        done_at = buf.next_drain_at + (buf.occupancy - 1) * buf.drain_cycles
+        wait = max(0, done_at - now)
+        buf.occupancy = 0
+        return wait
+
+    @property
+    def write_buffer_stalls(self) -> int:
+        return self._write_buffer.stall_cycles_total

@@ -1,0 +1,200 @@
+"""The full memory hierarchy: L1D → L2 → L3 → {DRAM, NVM}.
+
+The hierarchy decides which device backs an address via a caller-supplied
+predicate (the kernel's address-space layout knows which regions live in
+NVM).  Demand accesses walk the cache levels and return a latency; persist
+operations (``clwb``) force a line out to the NVM write path, which is how
+the flush/undo/redo and SSP baselines pay their per-store costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import CACHE_LINE_BYTES, SystemConfig
+from repro.memory.address import span_lines
+from repro.memory.cache import Cache
+from repro.memory.devices import DramDevice, NvmDevice
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one demand access."""
+
+    latency_cycles: int
+    hit_level: str  # "L1", "L2", "L3", "mem"
+
+
+class MemoryHierarchy:
+    """Three-level cache hierarchy over a hybrid DRAM+NVM backing store.
+
+    Parameters
+    ----------
+    config:
+        Machine configuration (cache geometry, device timings).
+    nvm_resident:
+        Predicate over a *virtual* address that returns True when the
+        address is backed by NVM rather than DRAM.  Defaults to "nothing in
+        NVM" — the vanilla configuration where all application state is in
+        DRAM and only explicit checkpoint traffic touches NVM.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        nvm_resident: Callable[[int], bool] | None = None,
+    ) -> None:
+        self.config = config
+        self.l1 = Cache(config.l1d, "L1D")
+        self.l2 = Cache(config.l2, "L2")
+        self.l3 = Cache(config.l3, "L3")
+        self.dram = DramDevice(config.dram, config.freq_hz)
+        self.nvm = NvmDevice(config.nvm, config.freq_hz) if config.nvm else None
+        self._nvm_resident = nvm_resident or (lambda _address: False)
+        self.now = 0  # advanced by callers that track global time
+
+    # ------------------------------------------------------------------ #
+    # Demand path
+    # ------------------------------------------------------------------ #
+
+    def _device_for(self, address: int):
+        if self.nvm is not None and self._nvm_resident(address):
+            return self.nvm
+        return self.dram
+
+    def access(self, address: int, size: int, is_write: bool) -> AccessResult:
+        """Perform a demand load/store covering ``[address, address+size)``.
+
+        Multi-line accesses are charged per line; the returned latency is the
+        serial sum, a deliberately pessimistic but simple model.
+        """
+        total = 0
+        worst_level = "L1"
+        level_rank = {"L1": 0, "L2": 1, "L3": 2, "mem": 3}
+        for line in span_lines(address, size):
+            result = self._access_line(line, address, is_write)
+            total += result.latency_cycles
+            if level_rank[result.hit_level] > level_rank[worst_level]:
+                worst_level = result.hit_level
+        return AccessResult(total, worst_level)
+
+    def _access_line(self, line: int, address: int, is_write: bool) -> AccessResult:
+        latency = self.config.l1d.latency_cycles
+        hit, victim = self.l1.access(line, is_write)
+        self._handle_writeback(victim, self.l2)
+        if hit:
+            return AccessResult(latency, "L1")
+
+        latency += self.config.l2.latency_cycles
+        hit, victim = self.l2.access(line, False)
+        self._handle_writeback(victim, self.l3)
+        if hit:
+            return AccessResult(latency, "L2")
+
+        latency += self.config.l3.latency_cycles
+        hit, victim = self.l3.access(line, False)
+        if victim is not None:
+            # Dirty L3 victim goes to its backing device.
+            device = self._device_for(victim * CACHE_LINE_BYTES)
+            if device is self.nvm:
+                device.write(CACHE_LINE_BYTES, self.now)
+            else:
+                device.write(CACHE_LINE_BYTES)
+        if hit:
+            return AccessResult(latency, "L3")
+
+        device = self._device_for(address)
+        latency += device.read(CACHE_LINE_BYTES)
+        return AccessResult(latency, "mem")
+
+    def _handle_writeback(self, victim: int | None, lower: Cache) -> None:
+        if victim is None:
+            return
+        # Install the dirty victim in the next level (write-back).
+        _, next_victim = lower.access(victim, True)
+        if lower is self.l2:
+            self._handle_writeback(next_victim, self.l3)
+        elif next_victim is not None:
+            device = self._device_for(next_victim * CACHE_LINE_BYTES)
+            if device is self.nvm:
+                device.write(CACHE_LINE_BYTES, self.now)
+            else:
+                device.write(CACHE_LINE_BYTES)
+
+    # ------------------------------------------------------------------ #
+    # Persistence path
+    # ------------------------------------------------------------------ #
+
+    def clwb(self, address: int, size: int = CACHE_LINE_BYTES, now: int | None = None) -> int:
+        """Write back (without invalidating) the lines covering the access.
+
+        Models the ``clwb`` instruction used by flush-based persistence: each
+        covered line that is dirty anywhere in the hierarchy is pushed to the
+        NVM write buffer.  Returns the cycles charged to the issuing core.
+        Callers issuing bursts of clwb in one logical instant should pass a
+        *now* that advances by the returned cost between calls, so the write
+        buffer sees forward-moving time.
+        """
+        if self.nvm is None:
+            raise RuntimeError("clwb issued on a machine without NVM")
+        base_now = self.now if now is None else now
+        total = 0
+        for line in span_lines(address, size):
+            dirty = self.l1.clean(line) | self.l2.clean(line) | self.l3.clean(line)
+            if dirty:
+                total += self.nvm.write(CACHE_LINE_BYTES, base_now + total)
+            else:
+                # clwb of a clean/absent line still costs the pipeline a few
+                # cycles to issue.
+                total += 2
+        return total
+
+    def persist_barrier(self) -> int:
+        """Drain pending NVM writes (sfence semantics)."""
+        if self.nvm is None:
+            return 0
+        return self.nvm.persist_barrier(self.now)
+
+    # ------------------------------------------------------------------ #
+    # Bulk copy path (checkpoints)
+    # ------------------------------------------------------------------ #
+
+    def copy_dram_to_nvm(self, size: int, latency_scale: float = 1.0) -> int:
+        """Cycles for the OS to copy *size* bytes from DRAM into NVM."""
+        if self.nvm is None:
+            raise RuntimeError("checkpoint copy issued on a machine without NVM")
+        if size <= 0:
+            return 0
+        return self.dram.bulk_read(size, latency_scale) + self.nvm.bulk_write(
+            size, latency_scale
+        )
+
+    def copy_nvm_to_nvm(self, size: int, latency_scale: float = 1.0) -> int:
+        """Cycles for an NVM-internal copy (e.g. staging buffer → stack)."""
+        if self.nvm is None:
+            raise RuntimeError("NVM copy issued on a machine without NVM")
+        if size <= 0:
+            return 0
+        return self.nvm.bulk_read(size, latency_scale) + self.nvm.bulk_write(
+            size, latency_scale
+        )
+
+    def copy_dram_to_dram(self, size: int, latency_scale: float = 1.0) -> int:
+        """Cycles for a DRAM-internal copy."""
+        if size <= 0:
+            return 0
+        return self.dram.bulk_read(size, latency_scale) + self.dram.bulk_write(
+            size, latency_scale
+        )
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    def reset_stats(self) -> None:
+        for cache in (self.l1, self.l2, self.l3):
+            cache.stats.reset()
+        self.dram.stats.reset()
+        if self.nvm is not None:
+            self.nvm.stats.reset()

@@ -1,0 +1,127 @@
+"""TLB and page-table-walker timing model.
+
+Dirty tracking in contemporary systems "depends upon the information
+gathered during virtual to physical address translation" (Section II-B):
+the hardware page-table walker (PTW) sets accessed/dirty bits as a side
+effect of translation.  This model supplies that substrate:
+
+* a set-associative **TLB** over page numbers with LRU replacement;
+* a fixed **PTW cost** charged on TLB misses;
+* the **dirty-bit write-back**: the first store to a page whose PTE dirty
+  bit is clear makes the PTW re-walk with a locked read-modify-write of
+  the PTE — the (small) hardware cost behind the Dirtybit scheme, which
+  recurs once per page per tracking interval after the OS clears the bits.
+
+The TLB is optional on the execution engine (``SystemConfig.tlb``); the
+unit tests and the TLB ablation exercise it, while the calibrated paper
+experiments run without it (the paper's normalized results divide it out).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.config import PAGE_BYTES
+
+
+@dataclass(frozen=True)
+class TlbConfig:
+    """Geometry and latencies of the TLB/PTW model."""
+
+    entries: int = 64
+    associativity: int = 4
+    #: Cycles of a full page-table walk on a TLB miss.
+    walk_cycles: int = 30
+    #: Extra cycles for the PTW's locked PTE update when it must set the
+    #: dirty bit (first write to a clean page).
+    dirty_update_cycles: int = 12
+    page_bytes: int = PAGE_BYTES
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.entries // self.associativity)
+
+
+@dataclass
+class TlbStats:
+    hits: int = 0
+    misses: int = 0
+    dirty_updates: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _TlbEntry:
+    """Cached translation: tracks the PTE dirty bit to elide PTW updates."""
+
+    dirty: bool = False
+
+
+class Tlb:
+    """Set-associative TLB with LRU replacement and dirty-bit semantics."""
+
+    def __init__(self, config: TlbConfig | None = None) -> None:
+        self.config = config or TlbConfig()
+        self.stats = TlbStats()
+        self._sets: list[OrderedDict[int, _TlbEntry]] = [
+            OrderedDict() for _ in range(self.config.num_sets)
+        ]
+
+    def _set_for(self, page: int) -> OrderedDict[int, _TlbEntry]:
+        return self._sets[page % self.config.num_sets]
+
+    def translate(self, address: int, is_write: bool) -> int:
+        """Translate one access; returns the cycles charged.
+
+        A hit with matching dirty state is free (overlapped with the L1
+        access); a miss pays the walk; a store to a page whose cached PTE
+        dirty bit is clear pays the dirty update.
+        """
+        page = address // self.config.page_bytes
+        tlb_set = self._set_for(page)
+        entry = tlb_set.get(page)
+        cycles = 0
+        if entry is None:
+            self.stats.misses += 1
+            cycles += self.config.walk_cycles
+            if len(tlb_set) >= self.config.associativity:
+                tlb_set.popitem(last=False)
+            entry = _TlbEntry()
+            tlb_set[page] = entry
+        else:
+            self.stats.hits += 1
+            tlb_set.move_to_end(page)
+        if is_write and not entry.dirty:
+            entry.dirty = True
+            self.stats.dirty_updates += 1
+            cycles += self.config.dirty_update_cycles
+        return cycles
+
+    def clear_dirty_bits(self) -> int:
+        """OS cleared PTE dirty bits (new tracking interval): drop cached
+        dirty state so the next store per page pays the PTW update again.
+        Returns the number of entries touched."""
+        touched = 0
+        for tlb_set in self._sets:
+            for entry in tlb_set.values():
+                if entry.dirty:
+                    entry.dirty = False
+                    touched += 1
+        return touched
+
+    def flush(self) -> None:
+        """Full TLB invalidation (address-space switch)."""
+        for tlb_set in self._sets:
+            tlb_set.clear()
+
+    @property
+    def resident_entries(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,184 @@
+"""Common interface for all memory-persistence mechanisms.
+
+The execution engine drives a mechanism through four hooks:
+
+* :meth:`PersistenceMechanism.on_load` / :meth:`~PersistenceMechanism.on_store`
+  — called for every demand access to the region the mechanism covers;
+  returns extra cycles charged to the application (critical-path cost such
+  as a clwb, a log append, or tracker interference).
+* :meth:`~PersistenceMechanism.on_interval_start` /
+  :meth:`~PersistenceMechanism.on_interval_end` — called at consistency /
+  checkpoint interval boundaries with an :class:`IntervalContext`; returns
+  cycles spent (dirty-metadata preparation and the checkpoint itself).
+
+Mechanisms also declare whether the region they protect must live in NVM
+(``region_in_nvm``): Romulus, SSP and the logging primitives keep the
+protected data in NVM, while checkpoint mechanisms (Dirtybit, Prosper) leave
+it in DRAM — one of the paper's central arguments (Table I, "Allows stack in
+DRAM").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.memory.address import AddressRange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.engine import ExecutionEngine
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """Table I capability matrix for one mechanism."""
+
+    achieves_process_persistence: bool
+    works_without_compiler_support: bool
+    stack_pointer_aware: bool
+    allows_stack_in_dram: bool
+
+    def as_row(self) -> tuple[str, str, str, str]:
+        """Render as check/cross marks like Table I."""
+        mark = lambda b: "yes" if b else "no"  # noqa: E731 - tiny local helper
+        return (
+            mark(self.achieves_process_persistence),
+            mark(self.works_without_compiler_support),
+            mark(self.stack_pointer_aware),
+            mark(self.allows_stack_in_dram),
+        )
+
+
+@dataclass
+class IntervalContext:
+    """Everything a mechanism may need at an interval boundary."""
+
+    interval_index: int
+    now: int
+    #: SP value at the moment the interval ends (stack grows down).
+    final_sp: int
+    #: Lowest SP observed during the interval — the maximum active stack
+    #: extent, which Prosper hardware tracks and shares with the OS.
+    min_sp: int
+    region: AddressRange
+
+
+@dataclass
+class MechanismStats:
+    """Counters shared by all mechanisms; subclasses may extend."""
+
+    stores_seen: int = 0
+    loads_seen: int = 0
+    intervals: int = 0
+    #: Bytes copied to NVM at checkpoints (checkpoint "size").
+    checkpoint_bytes: list[int] = field(default_factory=list)
+    #: Cycles spent inside on_interval_end (checkpoint "time").
+    checkpoint_cycles: list[int] = field(default_factory=list)
+    #: Cycles added on the critical path by on_load/on_store.
+    inline_overhead_cycles: int = 0
+
+    @property
+    def total_checkpoint_bytes(self) -> int:
+        return sum(self.checkpoint_bytes)
+
+    @property
+    def total_checkpoint_cycles(self) -> int:
+        return sum(self.checkpoint_cycles)
+
+    @property
+    def mean_checkpoint_bytes(self) -> float:
+        return (
+            self.total_checkpoint_bytes / len(self.checkpoint_bytes)
+            if self.checkpoint_bytes
+            else 0.0
+        )
+
+    @property
+    def mean_checkpoint_cycles(self) -> float:
+        return (
+            self.total_checkpoint_cycles / len(self.checkpoint_cycles)
+            if self.checkpoint_cycles
+            else 0.0
+        )
+
+
+class PersistenceMechanism:
+    """Base class: a no-op mechanism that only counts events.
+
+    Subclasses override the hooks they need and must set :attr:`name` and
+    :attr:`capabilities`.
+    """
+
+    name = "base"
+    capabilities = Capabilities(
+        achieves_process_persistence=False,
+        works_without_compiler_support=True,
+        stack_pointer_aware=False,
+        allows_stack_in_dram=True,
+    )
+    #: True when the protected region must be allocated in NVM.
+    region_in_nvm = False
+
+    def __init__(self) -> None:
+        self.stats = MechanismStats()
+        self.engine: "ExecutionEngine | None" = None
+        self.region: AddressRange | None = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    def attach(self, engine: "ExecutionEngine", region: AddressRange) -> None:
+        """Bind the mechanism to an engine and the region it protects."""
+        self.engine = engine
+        self.region = region
+
+    @property
+    def hierarchy(self):
+        if self.engine is None:
+            raise RuntimeError(f"{self.name} is not attached to an engine")
+        return self.engine.hierarchy
+
+    @property
+    def fixed_scale(self) -> float:
+        """Scale for fixed per-wall-clock-event costs (see ExecutionEngine)."""
+        return self.engine.fixed_cost_scale if self.engine is not None else 1.0
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+
+    def on_load(self, address: int, size: int, now: int) -> int:
+        """Demand load inside the region; returns extra critical-path cycles."""
+        self.stats.loads_seen += 1
+        return 0
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        """Demand store inside the region; returns extra critical-path cycles."""
+        self.stats.stores_seen += 1
+        return 0
+
+    def on_interval_start(self, ctx: IntervalContext) -> int:
+        """Prepare for a new tracking interval; returns cycles spent."""
+        return 0
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        """Commit/checkpoint the interval; returns cycles spent."""
+        self.stats.intervals += 1
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # Recovery interface
+    # ------------------------------------------------------------------ #
+
+    def persisted_state(self) -> dict:
+        """Opaque description of what survives a crash (for recovery tests).
+
+        Checkpoint mechanisms return their last committed snapshot metadata;
+        in-place NVM mechanisms return the live region.  The base class has
+        nothing persistent.
+        """
+        return {}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

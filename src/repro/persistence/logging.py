@@ -1,0 +1,218 @@
+"""Per-store persistence primitives: flush, undo logging, redo logging.
+
+These are the generic NVM-persistence mechanisms of Section II-A, used in
+the motivation study (Figure 3).  All three keep the protected region in NVM
+and perform non-trivial work on *every* store during a consistency interval:
+
+* **flush** — a ``clwb`` after every store pushes the dirty line into the
+  NVM write path immediately;
+* **undo** — the first store to a location per interval first persists the
+  old value into an undo log (NVM read + NVM log append + ordering);
+* **redo** — every store appends ``<address, value>`` to a redo log in NVM;
+  loads must check the log (an indirection cost), and at commit the log is
+  applied to the home locations.
+
+None of these can be SP-aware by construction — they must act at store
+time, before the end-of-interval SP is known.  To quantify what SP awareness
+*would* save (the paper's trace-replay analysis), each mechanism accepts an
+``sp_oracle`` giving the final SP of each interval in advance; with the
+oracle installed, work for stores below that SP (dead frames) is skipped.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.persistence.base import (
+    Capabilities,
+    IntervalContext,
+    PersistenceMechanism,
+)
+
+#: Pipeline cost of issuing clwb + the occasional sfence amortized in.
+CLWB_ISSUE_CYCLES = 6
+#: Software cost of forming one log entry (address/size bookkeeping).
+LOG_ENTRY_SETUP_CYCLES = 10
+#: Bytes of metadata per log entry (address + size + sequence).
+LOG_ENTRY_HEADER_BYTES = 16
+#: Cost for a load to consult the redo-log index before reading home data.
+REDO_LOOKUP_CYCLES = 8
+
+
+class _SpAwareMixin:
+    """Shared oracle plumbing for the three primitives."""
+
+    def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
+        self._sp_oracle = sp_oracle
+        self._current_interval = 0
+
+    @property
+    def sp_aware(self) -> bool:
+        return self._sp_oracle is not None
+
+    def _skip_store(self, address: int) -> bool:
+        """True when SP awareness says this store is to a dead frame."""
+        if self._sp_oracle is None:
+            return False
+        final_sp = self._sp_oracle(self._current_interval)
+        return address < final_sp
+
+    def _advance_interval(self) -> None:
+        self._current_interval += 1
+
+
+class FlushPersistence(_SpAwareMixin, PersistenceMechanism):
+    """clwb-per-store persistence with the stack resident in NVM."""
+
+    name = "flush"
+    capabilities = Capabilities(
+        achieves_process_persistence=False,
+        works_without_compiler_support=True,
+        stack_pointer_aware=False,
+        allows_stack_in_dram=False,
+    )
+    region_in_nvm = True
+
+    def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
+        _SpAwareMixin.__init__(self, sp_oracle)
+        PersistenceMechanism.__init__(self)
+        self.flushes = 0
+        self.skipped = 0
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        self.stats.stores_seen += 1
+        if self._skip_store(address):
+            self.skipped += 1
+            return 0
+        self.flushes += 1
+        cost = CLWB_ISSUE_CYCLES + self.hierarchy.clwb(address, size)
+        self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        self.stats.intervals += 1
+        cycles = self.hierarchy.persist_barrier()
+        self.stats.checkpoint_bytes.append(0)
+        self.stats.checkpoint_cycles.append(cycles)
+        self._advance_interval()
+        return cycles
+
+    def persisted_state(self) -> dict:
+        return {"kind": "in-place-nvm", "flushes": self.flushes}
+
+
+class UndoLogPersistence(_SpAwareMixin, PersistenceMechanism):
+    """Undo logging: persist the old value before the first overwrite."""
+
+    name = "undo"
+    capabilities = Capabilities(
+        achieves_process_persistence=False,
+        works_without_compiler_support=False,
+        stack_pointer_aware=False,
+        allows_stack_in_dram=False,
+    )
+    region_in_nvm = True
+
+    def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
+        _SpAwareMixin.__init__(self, sp_oracle)
+        PersistenceMechanism.__init__(self)
+        self.log_entries = 0
+        self.log_bytes = 0
+        self.skipped = 0
+        self._logged_this_interval: set[int] = set()
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        self.stats.stores_seen += 1
+        if self._skip_store(address):
+            self.skipped += 1
+            return 0
+        # Undo logs once per (8-byte) location per interval.
+        key = address // 8
+        if key in self._logged_this_interval:
+            return 0
+        self._logged_this_interval.add(key)
+        self.log_entries += 1
+        entry_bytes = LOG_ENTRY_HEADER_BYTES + size
+        self.log_bytes += entry_bytes
+        nvm = self.hierarchy.nvm
+        # Read the old value from NVM, append it to the log, order the log
+        # ahead of the data store (fence modeled inside write/persist costs).
+        cost = (
+            LOG_ENTRY_SETUP_CYCLES
+            + nvm.read(size)
+            + nvm.write(entry_bytes, now)
+        )
+        self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        self.stats.intervals += 1
+        # Commit: drain persists, then truncate the log (a small NVM write).
+        cycles = self.hierarchy.persist_barrier()
+        cycles += self.hierarchy.nvm.write(LOG_ENTRY_HEADER_BYTES, ctx.now)
+        self.stats.checkpoint_bytes.append(0)
+        self.stats.checkpoint_cycles.append(cycles)
+        self._logged_this_interval.clear()
+        self._advance_interval()
+        return cycles
+
+    def persisted_state(self) -> dict:
+        return {"kind": "in-place-nvm+undo-log", "log_entries": self.log_entries}
+
+
+class RedoLogPersistence(_SpAwareMixin, PersistenceMechanism):
+    """Redo logging: stores append to a log, applied to home at commit."""
+
+    name = "redo"
+    capabilities = Capabilities(
+        achieves_process_persistence=False,
+        works_without_compiler_support=False,
+        stack_pointer_aware=False,
+        allows_stack_in_dram=False,
+    )
+    region_in_nvm = True
+
+    def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
+        _SpAwareMixin.__init__(self, sp_oracle)
+        PersistenceMechanism.__init__(self)
+        self.log_entries = 0
+        self.log_bytes = 0
+        self.skipped = 0
+        #: Unique 8-byte locations written this interval (applied at commit).
+        self._pending: set[int] = set()
+
+    def on_load(self, address: int, size: int, now: int) -> int:
+        self.stats.loads_seen += 1
+        # Loads must consult the redo log for not-yet-applied data.
+        cost = REDO_LOOKUP_CYCLES
+        self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        self.stats.stores_seen += 1
+        if self._skip_store(address):
+            self.skipped += 1
+            return 0
+        self.log_entries += 1
+        entry_bytes = LOG_ENTRY_HEADER_BYTES + size
+        self.log_bytes += entry_bytes
+        self._pending.add(address // 8)
+        cost = LOG_ENTRY_SETUP_CYCLES + self.hierarchy.nvm.write(entry_bytes, now)
+        self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        self.stats.intervals += 1
+        # Apply the log: copy every pending location from log to home.
+        apply_bytes = len(self._pending) * 8
+        cycles = self.hierarchy.copy_nvm_to_nvm(apply_bytes)
+        cycles += self.hierarchy.persist_barrier()
+        cycles += self.hierarchy.nvm.write(LOG_ENTRY_HEADER_BYTES, ctx.now)
+        self.stats.checkpoint_bytes.append(apply_bytes)
+        self.stats.checkpoint_cycles.append(cycles)
+        self._pending.clear()
+        self._advance_interval()
+        return cycles
+
+    def persisted_state(self) -> dict:
+        return {"kind": "in-place-nvm+redo-log", "log_entries": self.log_entries}

@@ -1,0 +1,100 @@
+"""Prosper exposed through the common persistence-mechanism interface.
+
+This adapter wires the hardware tracker (:mod:`repro.core.tracker`), the
+DRAM dirty bitmap (:mod:`repro.core.bitmap`), and the OS checkpoint engine
+(:mod:`repro.core.checkpoint`) into the hook interface the execution engine
+drives — letting Prosper be swept against the baselines and composed with a
+heap mechanism (Figure 9).
+"""
+
+from __future__ import annotations
+
+from repro.config import TrackerConfig
+from repro.core.bitmap import DirtyBitmap
+from repro.core.checkpoint import ProsperCheckpointEngine
+from repro.core.policies import AllocationPolicy
+from repro.core.tracker import ProsperTracker
+from repro.memory.address import AddressRange
+from repro.persistence.base import (
+    Capabilities,
+    IntervalContext,
+    PersistenceMechanism,
+)
+
+
+class ProsperPersistence(PersistenceMechanism):
+    """Sub-page byte-granularity checkpointing via the Prosper tracker."""
+
+    name = "prosper"
+    capabilities = Capabilities(
+        achieves_process_persistence=True,
+        works_without_compiler_support=True,
+        stack_pointer_aware=True,
+        allows_stack_in_dram=True,
+    )
+    region_in_nvm = False
+
+    def __init__(
+        self,
+        tracker_config: TrackerConfig | None = None,
+        policy: AllocationPolicy = AllocationPolicy.ACCUMULATE_AND_APPLY,
+        bitmap_base: int = 0x6000_0000,
+        seed: int = 0xC0FFEE,
+    ) -> None:
+        super().__init__()
+        self.tracker_config = tracker_config or TrackerConfig()
+        self.policy = policy
+        self.bitmap_base = bitmap_base
+        self.tracker = ProsperTracker(self.tracker_config, policy, seed)
+        self.bitmap: DirtyBitmap | None = None
+        self.checkpoint_engine: ProsperCheckpointEngine | None = None
+
+    @property
+    def granularity(self) -> int:
+        return self.tracker_config.granularity_bytes
+
+    @property
+    def variant_name(self) -> str:
+        return f"prosper-{self.granularity}B"
+
+    def attach(self, engine, region: AddressRange) -> None:
+        super().attach(engine, region)
+        self.bitmap = DirtyBitmap(
+            region, self.tracker_config.granularity_bytes, self.bitmap_base
+        )
+        self.tracker.configure(self.bitmap)
+        self.checkpoint_engine = ProsperCheckpointEngine(
+            self.tracker, self.bitmap, engine.hierarchy,
+            fixed_scale=engine.fixed_cost_scale,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Hooks
+    # ------------------------------------------------------------------ #
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        self.stats.stores_seen += 1
+        cost = self.tracker.observe_store(address, size)
+        if cost:
+            self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        self.stats.intervals += 1
+        assert self.checkpoint_engine is not None, "not attached"
+        result = self.checkpoint_engine.checkpoint(
+            ctx.interval_index,
+            active_low_hint=ctx.min_sp,
+            final_sp=ctx.final_sp,
+        )
+        self.stats.checkpoint_bytes.append(result.copied_bytes)
+        self.stats.checkpoint_cycles.append(result.cycles)
+        return result.cycles
+
+    def persisted_state(self) -> dict:
+        committed = (
+            self.checkpoint_engine.last_committed_interval
+            if self.checkpoint_engine is not None
+            else None
+        )
+        return {"kind": "prosper-checkpoint", "last_committed": committed}

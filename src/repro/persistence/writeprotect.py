@@ -1,0 +1,99 @@
+"""Write-protection-based page dirty tracking (soft-dirty style).
+
+The second standard page-granularity technique of Section II-B: at the start
+of every tracking interval the OS removes write permission from all mapped
+stack PTEs; the *first* write to each page then traps into the kernel, which
+records the page dirty and restores write access.  Subsequent writes to the
+page proceed at full speed.
+
+Compared to the Dirtybit approach this adds a page-fault cost per
+first-touch page per interval — the overhead LDT (and the paper) call out —
+while the checkpoint itself is identical page-granularity copying.
+"""
+
+from __future__ import annotations
+
+from repro.config import PAGE_BYTES
+from repro.memory.address import page_index, span_pages
+from repro.persistence.base import (
+    Capabilities,
+    IntervalContext,
+    PersistenceMechanism,
+)
+from repro.persistence.dirtybit import (
+    CHECKPOINT_FIXED_CYCLES,
+    PTE_CLEAR_CYCLES,
+    PTE_INSPECT_CYCLES,
+)
+
+#: Round-trip cost of a write-protection fault: trap, kernel entry, record
+#: dirty, restore permission, TLB invalidate, return.  Of the order of a
+#: few thousand cycles on real hardware.
+WP_FAULT_CYCLES = 2500
+#: Cycles to re-arm write protection on one PTE at interval start.
+PTE_PROTECT_CYCLES = 3
+
+
+class WriteProtectPersistence(PersistenceMechanism):
+    """Stack checkpointing with write-protection fault dirty tracking."""
+
+    name = "writeprotect"
+    capabilities = Capabilities(
+        achieves_process_persistence=True,
+        works_without_compiler_support=True,
+        stack_pointer_aware=True,
+        allows_stack_in_dram=True,
+    )
+    region_in_nvm = False
+
+    def __init__(self, page_bytes: int = PAGE_BYTES) -> None:
+        super().__init__()
+        self.page_bytes = page_bytes
+        self._dirty_pages: set[int] = set()
+        self._mapped_pages: set[int] = set()
+        self.faults = 0
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        self.stats.stores_seen += 1
+        cost = 0
+        for page in span_pages(address, size, self.page_bytes):
+            self._mapped_pages.add(page)
+            if page not in self._dirty_pages:
+                # First store to a protected page this interval: fault.
+                self._dirty_pages.add(page)
+                self.faults += 1
+                cost += WP_FAULT_CYCLES
+        self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def on_interval_start(self, ctx: IntervalContext) -> int:
+        # Re-arm write protection across mapped stack pages.
+        return len(self._mapped_pages) * PTE_PROTECT_CYCLES
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        self.stats.intervals += 1
+        cycles = round(CHECKPOINT_FIXED_CYCLES * self.fixed_scale)
+
+        low_page = page_index(min(ctx.min_sp, ctx.final_sp), self.page_bytes)
+        top_page = page_index(ctx.region.end - 1, self.page_bytes)
+        cycles += max(0, top_page - low_page + 1) * PTE_INSPECT_CYCLES
+
+        # SP awareness at page granularity, as for the Dirtybit scheme.
+        final_page = page_index(ctx.final_sp, self.page_bytes)
+        live_pages = sum(1 for p in self._dirty_pages if p >= final_page)
+        copied = live_pages * self.page_bytes
+        cycles += len(self._dirty_pages) * PTE_CLEAR_CYCLES
+        if copied:
+            cycles += self.hierarchy.copy_dram_to_nvm(copied, self.fixed_scale)
+        cycles += self.hierarchy.persist_barrier()
+
+        self.stats.checkpoint_bytes.append(copied)
+        self.stats.checkpoint_cycles.append(cycles)
+        self._dirty_pages.clear()
+        return cycles
+
+    def persisted_state(self) -> dict:
+        return {
+            "kind": "page-checkpoint",
+            "intervals_committed": self.stats.intervals,
+        }

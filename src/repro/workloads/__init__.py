@@ -1,0 +1,57 @@
+"""Workload generators and trace utilities.
+
+* :mod:`repro.workloads.trace` — the trace container and statistics.
+* :mod:`repro.workloads.synthetic` — the access-pattern / access-intensity
+  micro-benchmarks of Table III (Random, Stream, Sparse, Normal, Poisson).
+* :mod:`repro.workloads.callstack` — the function-invocation micro-benchmarks
+  (Quicksort, Recursive with parameterized depth).
+* :mod:`repro.workloads.apps` — synthetic models of the three traced
+  applications (Gapbs_pr, G500_sssp, Ycsb_mem) calibrated to the stack
+  statistics the paper reports.
+* :mod:`repro.workloads.spec` — synthetic stack models of the SPEC CPU 2017
+  benchmarks used in the tracking-overhead study.
+"""
+
+from repro.workloads.trace import Trace, TraceStats
+from repro.workloads.synthetic import (
+    normal_workload,
+    poisson_workload,
+    random_workload,
+    sparse_workload,
+    stream_workload,
+)
+from repro.workloads.callstack import quicksort_workload, recursive_workload
+from repro.workloads.apps import (
+    APP_PROFILES,
+    AppProfile,
+    app_workload,
+    gapbs_pr,
+    g500_sssp,
+    ycsb_mem,
+    ycsb_mem_phased,
+)
+from repro.workloads.spec import SPEC_PROFILES, spec_workload
+from repro.workloads.serialize import load_trace, save_trace
+
+__all__ = [
+    "Trace",
+    "TraceStats",
+    "random_workload",
+    "stream_workload",
+    "sparse_workload",
+    "normal_workload",
+    "poisson_workload",
+    "quicksort_workload",
+    "recursive_workload",
+    "AppProfile",
+    "APP_PROFILES",
+    "app_workload",
+    "gapbs_pr",
+    "g500_sssp",
+    "ycsb_mem",
+    "ycsb_mem_phased",
+    "SPEC_PROFILES",
+    "spec_workload",
+    "save_trace",
+    "load_trace",
+]

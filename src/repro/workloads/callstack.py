@@ -1,0 +1,148 @@
+"""Function-invocation micro-benchmarks: Quicksort and Recursive (Table III).
+
+These exercise the grow/shrink usage pattern that makes the stack special:
+
+* **Quicksort** sorts a heap-allocated array; the trace is the real
+  recursion tree of quicksort (frames pushed/popped, partition locals
+  written on the stack, element reads/writes on the heap).  Its stack
+  footprint revisits the same shallow frames over and over — the pattern
+  the paper shows benefits from longer checkpoint intervals (Figure 11).
+* **Recursive** performs repeated recursive descents to a parameterized
+  depth (Rec-4/Rec-8/Rec-16), writing locals at each level.  New frames are
+  dirtied on the way down with little re-use, so larger intervals *grow*
+  its checkpoint size — the opposite trend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.ops import Op, OpKind
+from repro.memory.address import AddressRange
+from repro.workloads.synthetic import DEFAULT_HEAP, DEFAULT_STACK
+from repro.workloads.trace import Trace
+
+#: Stack frame of one quicksort invocation: saved registers, lo/hi/pivot
+#: locals, return address.
+QSORT_FRAME_BYTES = 96
+#: Locals written per quicksort invocation (within the frame).
+QSORT_LOCAL_WRITES = 6
+
+#: Frame size of one Recursive level.
+RECURSIVE_FRAME_BYTES = 256
+
+
+def quicksort_workload(
+    elements: int = 2048,
+    element_bytes: int = 8,
+    repeats: int = 3,
+    stack: AddressRange = DEFAULT_STACK,
+    heap: AddressRange = DEFAULT_HEAP,
+    seed: int = 7,
+) -> Trace:
+    """Trace of quicksort over random heap arrays, *repeats* times.
+
+    Repeated sorts re-dirty the same shallow stack frames; a long
+    checkpoint interval spanning several sorts therefore coalesces their
+    modifications — the effect behind Quicksort's checkpoint size
+    *shrinking* at 10 ms in Figure 11.
+    """
+    rng = np.random.default_rng(seed)
+    heap_base = heap.start
+    ops: list[Op] = []
+    sp = stack.end
+    values = rng.integers(0, 1_000_000, size=elements).astype(np.int64)
+
+    def element_addr(index: int) -> int:
+        return heap_base + index * element_bytes
+
+    def emit_frame_writes(frame_sp: int) -> None:
+        for k in range(QSORT_LOCAL_WRITES):
+            ops.append(Op(OpKind.WRITE, frame_sp + 8 + k * 8, 8))
+
+    def qsort(lo: int, hi: int) -> None:
+        nonlocal sp
+        if lo >= hi:
+            return
+        ops.append(Op(OpKind.CALL, size=QSORT_FRAME_BYTES))
+        sp -= QSORT_FRAME_BYTES
+        if sp < stack.start:
+            raise RuntimeError("quicksort recursion exceeded the stack region")
+        emit_frame_writes(sp)
+
+        # Lomuto partition: read every element, swap when needed.
+        pivot = values[hi]
+        ops.append(Op(OpKind.READ, element_addr(hi), element_bytes))
+        i = lo - 1
+        for j in range(lo, hi):
+            ops.append(Op(OpKind.READ, element_addr(j), element_bytes))
+            if values[j] <= pivot:
+                i += 1
+                if i != j:
+                    values[i], values[j] = values[j], values[i]
+                    ops.append(Op(OpKind.WRITE, element_addr(i), element_bytes))
+                    ops.append(Op(OpKind.WRITE, element_addr(j), element_bytes))
+        values[i + 1], values[hi] = values[hi], values[i + 1]
+        ops.append(Op(OpKind.WRITE, element_addr(i + 1), element_bytes))
+        ops.append(Op(OpKind.WRITE, element_addr(hi), element_bytes))
+        p = i + 1
+
+        qsort(lo, p - 1)
+        qsort(p + 1, hi)
+
+        ops.append(Op(OpKind.RET, size=QSORT_FRAME_BYTES))
+        sp += QSORT_FRAME_BYTES
+
+    for round_index in range(max(1, repeats)):
+        values = rng.integers(0, 1_000_000, size=elements).astype(np.int64)
+        qsort(0, elements - 1)
+        assert np.all(values[:-1] <= values[1:]), "quicksort trace did not sort"
+        ops.append(Op(OpKind.COMPUTE, size=200))
+    return Trace(ops, stack, heap_range=heap, name="quicksort")
+
+
+def recursive_workload(
+    depth: int = 8,
+    descents: int = 400,
+    writes_per_level: int = 8,
+    frame_bytes: int = RECURSIVE_FRAME_BYTES,
+    compute_gap_cycles: int = 20_000,
+    stack: AddressRange = DEFAULT_STACK,
+    seed: int = 7,
+) -> Trace:
+    """Steadily deepening recursion (Rec-4 / Rec-8 / Rec-16 in the paper).
+
+    Each cycle descends *depth* levels writing locals, then unwinds only
+    ``depth - 1`` levels before the next descent: the stack deepens by one
+    frame per cycle and **never shrinks back** within a checkpoint
+    interval (the paper's stated Recursive behaviour) — so every dirtied
+    frame is still live at the interval end, checkpoint size grows with
+    the interval, and nothing coalesces.  Compute gaps between cycles make
+    very short checkpoint intervals land on intervals with no stack
+    modification, reproducing the paper's per-byte-cost note.
+    """
+    if depth * frame_bytes > stack.size:
+        raise ValueError("recursion does not fit in the stack region")
+    max_cycles = stack.size // frame_bytes - depth - 1
+    if descents > max_cycles:
+        raise ValueError(
+            f"{descents} deepening cycles of {frame_bytes}B frames exceed "
+            f"the stack region (max {max_cycles})"
+        )
+    ops: list[Op] = []
+    sp = stack.end
+    net_depth = 0
+    for _ in range(descents):
+        for _level in range(depth):
+            ops.append(Op(OpKind.CALL, size=frame_bytes))
+            sp -= frame_bytes
+            for k in range(writes_per_level):
+                ops.append(Op(OpKind.WRITE, sp + 8 + k * 8, 8))
+        for _level in range(depth - 1):
+            ops.append(Op(OpKind.RET, size=frame_bytes))
+            sp += frame_bytes
+        net_depth += 1
+        ops.append(Op(OpKind.COMPUTE, size=compute_gap_cycles))
+    for _ in range(net_depth):
+        ops.append(Op(OpKind.RET, size=frame_bytes))
+    return Trace(ops, stack, name=f"rec-{depth}")

@@ -1,0 +1,73 @@
+"""Trace serialization: save/load traces as compressed ``.npz`` files.
+
+The paper's artifact ships memory traces as disk images; the equivalent
+here is a compact on-disk format for generated traces, so expensive
+workloads can be generated once and replayed across experiment runs:
+
+* the op stream packs into the :data:`repro.cpu.ops.TRACE_DTYPE` structured
+  array (one record per op),
+* layout metadata (stack/heap ranges, name, initial SP) rides along as
+  scalar arrays.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.cpu.ops import array_to_ops, ops_to_array
+from repro.memory.address import AddressRange
+from repro.workloads.trace import Trace
+
+#: Format marker bumped on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write *trace* to *path* (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    heap = trace.heap_range
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        ops=ops_to_array(trace.ops),
+        stack=np.array([trace.stack_range.start, trace.stack_range.end], dtype=np.int64),
+        heap=np.array(
+            [heap.start, heap.end] if heap is not None else [-1, -1],
+            dtype=np.int64,
+        ),
+        name=np.bytes_(trace.name.encode()),
+        initial_sp=np.int64(
+            trace.initial_sp if trace.initial_sp is not None else -1
+        ),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path)) as data:
+        version = int(data["version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"trace format version {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        stack = AddressRange(int(data["stack"][0]), int(data["stack"][1]))
+        heap_bounds = data["heap"]
+        heap = (
+            AddressRange(int(heap_bounds[0]), int(heap_bounds[1]))
+            if int(heap_bounds[0]) >= 0
+            else None
+        )
+        initial_sp = int(data["initial_sp"])
+        return Trace(
+            ops=array_to_ops(data["ops"]),
+            stack_range=stack,
+            heap_range=heap,
+            name=bytes(data["name"]).decode(),
+            initial_sp=initial_sp if initial_sp >= 0 else None,
+        )

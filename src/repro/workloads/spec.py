@@ -1,0 +1,161 @@
+"""Synthetic stack models of the SPEC CPU 2017 benchmarks used in Figures 12-13.
+
+The tracking-overhead study runs 605.mcf_s, 620.omnetpp_s, 600.perlbench_s
+and 641.leela_s (plus SSSP, PR and Stream) under a Linux kernel thread that
+checkpoints every 10 ms.  Only the *stack access behaviour* of these
+benchmarks matters to the tracker, so each profile captures:
+
+* stack-op intensity (how much of the instruction stream touches the stack),
+* spatial locality of those accesses (drives the lookup table's hit rate and
+  the HWM/LWM trends of Figure 13 — mcf's pointer-chasing yields scattered
+  stack temporaries, while SSSP's relaxation loop reuses a tight frame),
+* call-chain depth (recursion vs flat loops).
+
+The generator reuses the application-model machinery with profiles tuned to
+these published characteristics.
+"""
+
+from __future__ import annotations
+
+from repro.memory.address import AddressRange
+from repro.workloads.apps import APP_STACK, AppProfile, app_workload
+from repro.workloads.synthetic import DEFAULT_HEAP
+from repro.workloads.trace import Trace
+
+#: SPEC CPU 2017 profiles.  `hot_locality` near 1.0 means accesses scatter
+#: across the whole hot set (mcf); small values mean tight reuse (SSSP-like).
+SPEC_PROFILES: dict[str, AppProfile] = {
+    # mcf: network-simplex pointer chasing; stack temporaries scattered over
+    # a large spill area with little spatial locality.
+    "605.mcf_s": AppProfile(
+        name="605.mcf_s",
+        stack_fraction=0.35,
+        stack_write_fraction=0.50,
+        excursion_probability=0.10,
+        excursion_depth=(1, 3),
+        excursion_writes=4,
+        frame_bytes=128,
+        hot_set_bytes=32 * 1024,
+        hot_phase_ops=200,
+        hot_locality=1.2,
+        hot_run_words=20,
+        hot_streams=6,
+    ),
+    # omnetpp: discrete-event simulation, moderate call depth, medium
+    # locality.
+    "620.omnetpp_s": AppProfile(
+        name="620.omnetpp_s",
+        stack_fraction=0.45,
+        stack_write_fraction=0.55,
+        excursion_probability=0.35,
+        excursion_depth=(3, 8),
+        excursion_writes=8,
+        frame_bytes=256,
+        hot_set_bytes=8 * 1024,
+        hot_phase_ops=150,
+        hot_locality=0.4,
+        hot_run_words=8,
+    ),
+    # perlbench: interpreter loop, deep call chains, good frame locality.
+    "600.perlbench_s": AppProfile(
+        name="600.perlbench_s",
+        stack_fraction=0.55,
+        stack_write_fraction=0.55,
+        excursion_probability=0.45,
+        excursion_depth=(4, 12),
+        excursion_writes=10,
+        frame_bytes=224,
+        hot_set_bytes=6 * 1024,
+        hot_phase_ops=120,
+        hot_locality=0.2,
+        hot_run_words=16,
+    ),
+    # leela: MCTS game tree search, recursive descents with tight frames.
+    "641.leela_s": AppProfile(
+        name="641.leela_s",
+        stack_fraction=0.50,
+        stack_write_fraction=0.50,
+        excursion_probability=0.50,
+        excursion_depth=(4, 10),
+        excursion_writes=6,
+        frame_bytes=160,
+        hot_set_bytes=4 * 1024,
+        hot_phase_ops=130,
+        hot_locality=0.25,
+        hot_run_words=12,
+    ),
+    # gcc: compiler passes over IR; deep call chains with moderate frames
+    # and bursty temporaries.
+    "602.gcc_s": AppProfile(
+        name="602.gcc_s",
+        stack_fraction=0.55,
+        stack_write_fraction=0.55,
+        excursion_probability=0.40,
+        excursion_depth=(5, 14),
+        excursion_writes=9,
+        frame_bytes=288,
+        hot_set_bytes=12 * 1024,
+        hot_phase_ops=140,
+        hot_locality=0.3,
+        hot_run_words=10,
+    ),
+    # xalancbmk: XML transformation, very deep recursive tree walks with
+    # small frames.
+    "623.xalancbmk_s": AppProfile(
+        name="623.xalancbmk_s",
+        stack_fraction=0.60,
+        stack_write_fraction=0.50,
+        excursion_probability=0.55,
+        excursion_depth=(8, 20),
+        excursion_writes=6,
+        frame_bytes=128,
+        hot_set_bytes=4 * 1024,
+        hot_phase_ops=100,
+        hot_locality=0.2,
+        hot_run_words=8,
+    ),
+    # x264: video encoder; large streaming stack buffers per macroblock.
+    "625.x264_s": AppProfile(
+        name="625.x264_s",
+        stack_fraction=0.40,
+        stack_write_fraction=0.60,
+        excursion_probability=0.20,
+        excursion_depth=(2, 5),
+        excursion_writes=12,
+        frame_bytes=512,
+        hot_set_bytes=24 * 1024,
+        hot_phase_ops=220,
+        hot_locality=0.1,
+        hot_run_words=48,
+    ),
+    # deepsjeng: alpha-beta chess search; regular recursion with a compact
+    # working frame per ply.
+    "631.deepsjeng_s": AppProfile(
+        name="631.deepsjeng_s",
+        stack_fraction=0.50,
+        stack_write_fraction=0.52,
+        excursion_probability=0.60,
+        excursion_depth=(6, 12),
+        excursion_writes=8,
+        frame_bytes=192,
+        hot_set_bytes=3 * 1024,
+        hot_phase_ops=110,
+        hot_locality=0.2,
+        hot_run_words=10,
+    ),
+}
+
+
+def spec_workload(
+    name: str,
+    target_ops: int = 200_000,
+    stack: AddressRange = APP_STACK,
+    heap: AddressRange = DEFAULT_HEAP,
+    seed: int = 42,
+) -> Trace:
+    """Generate a trace for the SPEC benchmark *name* (key of SPEC_PROFILES)."""
+    if name not in SPEC_PROFILES:
+        raise KeyError(
+            f"unknown SPEC profile {name!r}; choose from {sorted(SPEC_PROFILES)}"
+        )
+    return app_workload(SPEC_PROFILES[name], target_ops, stack, heap, seed)

@@ -1,0 +1,174 @@
+"""Access-pattern and access-intensity micro-benchmarks (Table III).
+
+These reproduce the micro-benchmarks the paper uses to explore Prosper's
+behaviour across stack usage patterns:
+
+* **Random** — writes to random elements of a stack-allocated array
+  (average case for sub-page tracking);
+* **Stream** — sequential writes to the whole array (worst case: everything
+  is dirty, so fine tracking cannot shrink the copy);
+* **Sparse** — four dirty bytes per 4 KiB page, across recursive calls
+  (best case: page tracking copies 1024x more than needed);
+* **Normal / Poisson** — bursts of stack writes whose count is drawn from a
+  normal(63, 20) / Poisson(63) distribution, separated by compute blocks
+  that increment a register one thousand times.
+
+Every generator is deterministic given its seed and returns a
+:class:`~repro.workloads.trace.Trace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.ops import Op, OpKind
+from repro.memory.address import AddressRange
+from repro.workloads.trace import Trace
+
+#: Default layout used by all micro-benchmarks: a 1 MiB stack.
+DEFAULT_STACK = AddressRange(0x7F00_0000, 0x7F10_0000)
+#: Default heap region (used by Quicksort and the app models).
+DEFAULT_HEAP = AddressRange(0x1000_0000, 0x1100_0000)
+
+#: Compute block between write bursts: one thousand register increments.
+COMPUTE_BLOCK_CYCLES = 1000
+
+
+def _enter_frame(ops: list[Op], frame_bytes: int) -> None:
+    ops.append(Op(OpKind.CALL, size=frame_bytes))
+
+
+def _leave_frame(ops: list[Op], frame_bytes: int) -> None:
+    ops.append(Op(OpKind.RET, size=frame_bytes))
+
+
+def random_workload(
+    array_bytes: int = 256 * 1024,
+    num_writes: int = 100_000,
+    read_fraction: float = 0.2,
+    stack: AddressRange = DEFAULT_STACK,
+    seed: int = 1,
+) -> Trace:
+    """Writes to random 8-byte words of a stack-allocated array."""
+    if array_bytes > stack.size:
+        raise ValueError("array does not fit in the stack region")
+    rng = np.random.default_rng(seed)
+    ops: list[Op] = []
+    frame = array_bytes
+    _enter_frame(ops, frame)
+    base = stack.end - frame
+    offsets = rng.integers(0, array_bytes // 8, size=num_writes) * 8
+    is_read = rng.random(num_writes) < read_fraction
+    for offset, read in zip(offsets, is_read):
+        kind = OpKind.READ if read else OpKind.WRITE
+        ops.append(Op(kind, base + int(offset), 8))
+    _leave_frame(ops, frame)
+    return Trace(ops, stack, name="random")
+
+
+def stream_workload(
+    array_bytes: int = 256 * 1024,
+    passes: int = 2,
+    stack: AddressRange = DEFAULT_STACK,
+    seed: int = 1,
+) -> Trace:
+    """Sequential writes over the whole stack array, *passes* times."""
+    if array_bytes > stack.size:
+        raise ValueError("array does not fit in the stack region")
+    ops: list[Op] = []
+    frame = array_bytes
+    _enter_frame(ops, frame)
+    base = stack.end - frame
+    for _ in range(passes):
+        for offset in range(0, array_bytes, 8):
+            ops.append(Op(OpKind.WRITE, base + offset, 8))
+    _leave_frame(ops, frame)
+    return Trace(ops, stack, name="stream")
+
+
+def sparse_workload(
+    pages: int = 64,
+    rounds: int = 200,
+    page_bytes: int = 4096,
+    stack: AddressRange = DEFAULT_STACK,
+    seed: int = 1,
+) -> Trace:
+    """Dirty four bytes of each stack page across recursive invocations.
+
+    Each recursion level pushes a page-sized frame and writes 4 bytes into
+    it; after reaching *pages* levels the recursion unwinds.  Repeated for
+    *rounds* rounds — a workload whose page-granularity checkpoint is ~1000x
+    its true dirty footprint.
+    """
+    if pages * page_bytes > stack.size:
+        raise ValueError("recursion does not fit in the stack region")
+    ops: list[Op] = []
+    for _ in range(rounds):
+        sp = stack.end
+        for _level in range(pages):
+            _enter_frame(ops, page_bytes)
+            sp -= page_bytes
+            ops.append(Op(OpKind.WRITE, sp + 64, 4))
+        for _level in range(pages):
+            _leave_frame(ops, page_bytes)
+        ops.append(Op(OpKind.COMPUTE, size=COMPUTE_BLOCK_CYCLES))
+    return Trace(ops, stack, name="sparse")
+
+
+def _burst_workload(
+    name: str,
+    burst_sizes: np.ndarray,
+    working_set_bytes: int,
+    stack: AddressRange,
+    seed: int,
+) -> Trace:
+    """Shared body of the Normal/Poisson access-intensity benchmarks.
+
+    Each burst writes *sequentially* into a local buffer starting at a
+    small random offset — the compiler-generated pattern of filling a
+    function-scope array between computation blocks.  The dirty footprint
+    per interval is therefore localized (a few hundred bytes), which is
+    what lets sub-page tracking beat page tracking on these workloads.
+    """
+    rng = np.random.default_rng(seed)
+    ops: list[Op] = []
+    frame = working_set_bytes
+    _enter_frame(ops, frame)
+    base = stack.end - frame
+    words = working_set_bytes // 8
+    for burst in burst_sizes:
+        count = int(max(0, burst))
+        if count:
+            start = int(rng.integers(0, max(1, words - count)))
+            for k in range(count):
+                ops.append(Op(OpKind.WRITE, base + (start + k) % words * 8, 8))
+        ops.append(Op(OpKind.COMPUTE, size=COMPUTE_BLOCK_CYCLES))
+    _leave_frame(ops, frame)
+    return Trace(ops, stack, name=name)
+
+
+def normal_workload(
+    blocks: int = 1500,
+    mu: float = 63.0,
+    sigma: float = 20.0,
+    working_set_bytes: int = 64 * 1024,
+    stack: AddressRange = DEFAULT_STACK,
+    seed: int = 1,
+) -> Trace:
+    """Normally distributed stack-write bursts between compute blocks."""
+    rng = np.random.default_rng(seed)
+    bursts = np.rint(rng.normal(mu, sigma, size=blocks)).astype(int)
+    return _burst_workload("normal", bursts, working_set_bytes, stack, seed + 1)
+
+
+def poisson_workload(
+    blocks: int = 1500,
+    lam: float = 63.0,
+    working_set_bytes: int = 64 * 1024,
+    stack: AddressRange = DEFAULT_STACK,
+    seed: int = 1,
+) -> Trace:
+    """Poisson distributed stack-write bursts between compute blocks."""
+    rng = np.random.default_rng(seed)
+    bursts = rng.poisson(lam, size=blocks)
+    return _burst_workload("poisson", bursts, working_set_bytes, stack, seed + 1)

@@ -1,0 +1,161 @@
+"""Trace container and trace-level statistics.
+
+A :class:`Trace` couples a list of micro-operations with the address-space
+layout it was generated against (stack range, optional heap range) so an
+experiment can build a matching engine without re-deriving layout.  The
+statistics here power the motivation figures (stack-op fraction for Fig. 1,
+writes beyond the final SP for Fig. 2, page- vs byte-granularity copy size
+for Fig. 4) directly from a trace, without running the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.ops import Op, OpKind
+from repro.memory.address import AddressRange, span_granules, span_pages
+
+
+@dataclass
+class TraceStats:
+    """Counts derived from a trace (no timing involved)."""
+
+    total_ops: int = 0
+    memory_ops: int = 0
+    stack_reads: int = 0
+    stack_writes: int = 0
+    other_reads: int = 0
+    other_writes: int = 0
+
+    @property
+    def stack_ops(self) -> int:
+        return self.stack_reads + self.stack_writes
+
+    @property
+    def stack_fraction(self) -> float:
+        """Fraction of memory operations hitting the stack (Figure 1)."""
+        return self.stack_ops / self.memory_ops if self.memory_ops else 0.0
+
+    @property
+    def stack_write_fraction(self) -> float:
+        writes = self.stack_writes + self.other_writes
+        return self.stack_writes / writes if writes else 0.0
+
+
+@dataclass
+class Trace:
+    """A generated workload: operations plus the layout they assume."""
+
+    ops: list[Op]
+    stack_range: AddressRange
+    heap_range: AddressRange | None = None
+    name: str = "trace"
+    #: Initial SP (top of stack); generators may start below the top.
+    initial_sp: int | None = None
+    _stats: TraceStats | None = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self):
+        return iter(self.ops)
+
+    @property
+    def stats(self) -> TraceStats:
+        if self._stats is None:
+            self._stats = self._compute_stats()
+        return self._stats
+
+    def _compute_stats(self) -> TraceStats:
+        stats = TraceStats(total_ops=len(self.ops))
+        stack = self.stack_range
+        for op in self.ops:
+            if op.kind == OpKind.READ:
+                stats.memory_ops += 1
+                if stack.contains(op.address):
+                    stats.stack_reads += 1
+                else:
+                    stats.other_reads += 1
+            elif op.kind == OpKind.WRITE:
+                stats.memory_ops += 1
+                if stack.contains(op.address):
+                    stats.stack_writes += 1
+                else:
+                    stats.other_writes += 1
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Interval-based trace analysis (motivation experiments)
+    # ------------------------------------------------------------------ #
+
+    def split_intervals(self, num_intervals: int) -> list[list[Op]]:
+        """Split ops into *num_intervals* equal chunks (trace-time intervals).
+
+        The motivation studies operate on trace position rather than
+        simulated cycles; equal op chunks approximate equal time slices for
+        the steady-state workloads involved.
+        """
+        if num_intervals <= 0:
+            raise ValueError("num_intervals must be positive")
+        chunk = max(1, len(self.ops) // num_intervals)
+        return [
+            self.ops[i * chunk: (i + 1) * chunk]
+            for i in range(num_intervals)
+            if self.ops[i * chunk: (i + 1) * chunk]
+        ]
+
+    def writes_beyond_final_sp(self, num_intervals: int) -> list[tuple[int, int]]:
+        """Per interval: (total stack writes, writes below the final SP).
+
+        Replays SP movement through CALL/RET and, for every interval, counts
+        stack writes whose address ends up below the interval-final SP —
+        writes to frames already popped, the waste SP-unaware mechanisms do
+        (Figure 2).
+        """
+        sp = self.initial_sp if self.initial_sp is not None else self.stack_range.end
+        results: list[tuple[int, int]] = []
+        for chunk in self.split_intervals(num_intervals):
+            write_addresses: list[int] = []
+            for op in chunk:
+                if op.kind == OpKind.CALL:
+                    sp -= op.size
+                elif op.kind == OpKind.RET:
+                    sp += op.size
+                elif op.kind == OpKind.WRITE and self.stack_range.contains(op.address):
+                    write_addresses.append(op.address)
+            beyond = sum(1 for a in write_addresses if a < sp)
+            results.append((len(write_addresses), beyond))
+        return results
+
+    def final_sp_per_interval(self, num_intervals: int) -> list[int]:
+        """SP value at the end of each trace-time interval (the SP oracle)."""
+        sp = self.initial_sp if self.initial_sp is not None else self.stack_range.end
+        finals: list[int] = []
+        for chunk in self.split_intervals(num_intervals):
+            for op in chunk:
+                if op.kind == OpKind.CALL:
+                    sp -= op.size
+                elif op.kind == OpKind.RET:
+                    sp += op.size
+            finals.append(sp)
+        return finals
+
+    def copy_sizes(
+        self, num_intervals: int, granularity: int
+    ) -> list[int]:
+        """Checkpoint copy size per interval at the given dirty granularity.
+
+        *granularity* may be a sub-page granule (8..128) or the page size —
+        the same post-processing the paper applies for Figure 4.
+        """
+        sizes: list[int] = []
+        for chunk in self.split_intervals(num_intervals):
+            dirty: set[int] = set()
+            for op in chunk:
+                if op.kind == OpKind.WRITE and self.stack_range.contains(op.address):
+                    if granularity >= 4096:
+                        dirty.update(span_pages(op.address, op.size, granularity))
+                    else:
+                        dirty.update(span_granules(op.address, op.size, granularity))
+            sizes.append(len(dirty) * granularity)
+        return sizes

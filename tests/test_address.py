@@ -1,0 +1,150 @@
+"""Tests for repro.memory.address: ranges and chunk math."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address import (
+    AddressRange,
+    align_down,
+    align_up,
+    granule_index,
+    line_index,
+    page_index,
+    span_granules,
+    span_lines,
+    span_pages,
+)
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4096, 4096) == 4096
+        assert align_down(0, 64) == 0
+
+    def test_align_up(self):
+        assert align_up(4097, 4096) == 8192
+        assert align_up(4096, 4096) == 4096
+
+    def test_rejects_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_down(10, 0)
+        with pytest.raises(ValueError):
+            align_up(10, -4)
+
+    @given(st.integers(0, 2**48), st.sampled_from([8, 64, 4096]))
+    def test_align_properties(self, addr, alignment):
+        down = align_down(addr, alignment)
+        up = align_up(addr, alignment)
+        assert down <= addr <= up
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert up - down in (0, alignment)
+
+
+class TestIndices:
+    def test_page_index(self):
+        assert page_index(0) == 0
+        assert page_index(4095) == 0
+        assert page_index(4096) == 1
+
+    def test_line_index(self):
+        assert line_index(63) == 0
+        assert line_index(64) == 1
+
+    def test_granule_index(self):
+        assert granule_index(15, 8) == 1
+        assert granule_index(16, 16) == 1
+
+
+class TestSpans:
+    def test_span_within_one_page(self):
+        assert list(span_pages(100, 8)) == [0]
+
+    def test_span_crossing_page(self):
+        assert list(span_pages(4090, 16)) == [0, 1]
+
+    def test_span_zero_size(self):
+        assert list(span_pages(100, 0)) == []
+        assert list(span_lines(100, 0)) == []
+        assert list(span_granules(100, 0, 8)) == []
+
+    def test_span_lines_crossing(self):
+        assert list(span_lines(60, 8)) == [0, 1]
+
+    def test_span_granules_exact(self):
+        assert list(span_granules(8, 8, 8)) == [1]
+        assert list(span_granules(8, 9, 8)) == [1, 2]
+
+    @given(
+        st.integers(0, 2**32),
+        st.integers(1, 1024),
+        st.sampled_from([8, 64, 4096]),
+    )
+    def test_span_covers_every_byte(self, addr, size, chunk):
+        indices = list(span_granules(addr, size, chunk))
+        assert indices[0] == addr // chunk
+        assert indices[-1] == (addr + size - 1) // chunk
+        # contiguity
+        assert indices == list(range(indices[0], indices[-1] + 1))
+
+
+class TestAddressRange:
+    def test_basic_properties(self):
+        r = AddressRange(0x1000, 0x2000)
+        assert r.size == 0x1000
+        assert r.contains(0x1000)
+        assert r.contains(0x1FFF)
+        assert not r.contains(0x2000)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            AddressRange(0x2000, 0x1000)
+
+    def test_empty_range_allowed(self):
+        r = AddressRange(0x1000, 0x1000)
+        assert r.size == 0
+        assert not r.contains(0x1000)
+        assert list(r.pages()) == []
+        assert list(r.granules(8)) == []
+
+    def test_contains_access(self):
+        r = AddressRange(0x1000, 0x2000)
+        assert r.contains_access(0x1FF8, 8)
+        assert not r.contains_access(0x1FF9, 8)
+
+    def test_overlaps(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(99, 200)
+        c = AddressRange(100, 200)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_intersection(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(50, 150)
+        inter = a.intersection(b)
+        assert inter == AddressRange(50, 100)
+        assert a.intersection(AddressRange(100, 200)) is None
+
+    def test_pages(self):
+        r = AddressRange(4000, 8193)
+        assert list(r.pages()) == [0, 1, 2]
+
+    def test_iter_chunks_alignment(self):
+        r = AddressRange(100, 300)
+        chunks = list(r.iter_chunks(128))
+        assert chunks[0] == AddressRange(100, 128)
+        assert chunks[-1].end == 300
+        assert sum(c.size for c in chunks) == r.size
+
+    @given(st.integers(0, 10_000), st.integers(0, 10_000))
+    def test_iter_chunks_cover_exactly(self, start, length):
+        r = AddressRange(start, start + length)
+        chunks = list(r.iter_chunks(64))
+        assert sum(c.size for c in chunks) == length
+        if chunks:
+            assert chunks[0].start == start
+            assert chunks[-1].end == start + length
+            for a, b in zip(chunks, chunks[1:]):
+                assert a.end == b.start

@@ -1,0 +1,117 @@
+"""Tests for repro.memory.cache: set-associative write-back LRU cache."""
+
+from hypothesis import given, strategies as st
+
+from repro.config import CacheConfig
+from repro.memory.cache import Cache
+
+
+def tiny_cache(ways: int = 2, sets: int = 4) -> Cache:
+    """A small cache: sets*ways lines of 64B."""
+    return Cache(CacheConfig(sets * ways * 64, ways, 3, 4))
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses_then_hits(self):
+        cache = tiny_cache()
+        hit, _ = cache.access(0, is_write=False)
+        assert not hit
+        hit, _ = cache.access(0, is_write=False)
+        assert hit
+
+    def test_capacity_eviction_lru(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.access(0, False)
+        cache.access(1, False)
+        cache.access(0, False)  # 0 is now MRU
+        hit, victim = cache.access(2, False)  # evicts 1 (LRU)
+        assert not hit
+        assert victim is None  # clean victim: no writeback
+        assert cache.lookup(0)
+        assert not cache.lookup(1)
+
+    def test_dirty_victim_returns_writeback(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, is_write=True)
+        _, victim = cache.access(1, is_write=False)
+        assert victim == 0
+        assert cache.stats.writebacks == 1
+
+    def test_write_marks_dirty_on_hit(self):
+        cache = tiny_cache(ways=1, sets=1)
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=True)
+        _, victim = cache.access(1, False)
+        assert victim == 0
+
+    def test_lines_map_to_distinct_sets(self):
+        cache = tiny_cache(ways=1, sets=4)
+        for line in range(4):
+            cache.access(line, False)
+        assert cache.resident_lines == 4
+        assert cache.stats.evictions == 0
+
+
+class TestMaintenanceOps:
+    def test_clean_clwb_semantics(self):
+        cache = tiny_cache()
+        cache.access(5, is_write=True)
+        assert cache.clean(5) is True  # dirty -> writeback needed
+        assert cache.clean(5) is False  # now clean
+        assert cache.lookup(5)  # clwb keeps the line resident
+
+    def test_clean_absent_line(self):
+        cache = tiny_cache()
+        assert cache.clean(99) is False
+
+    def test_invalidate_reports_dirty(self):
+        cache = tiny_cache()
+        cache.access(3, is_write=True)
+        assert cache.invalidate(3) is True
+        assert not cache.lookup(3)
+        assert cache.invalidate(3) is False
+
+    def test_flush_all_counts_dirty(self):
+        cache = tiny_cache()
+        cache.access(0, True)
+        cache.access(1, False)
+        cache.access(2, True)
+        assert cache.flush_all() == 2
+        assert cache.resident_lines == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = tiny_cache()
+        cache.access(0, False)
+        cache.access(0, False)
+        cache.access(0, False)
+        assert cache.stats.hit_rate == 2 / 3
+
+    def test_hit_rate_empty(self):
+        assert tiny_cache().stats.hit_rate == 0.0
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        cache = tiny_cache(ways=2, sets=4)
+        for line, is_write in accesses:
+            cache.access(line, is_write)
+        assert cache.resident_lines <= 8
+        for s in cache._sets:
+            assert len(s) <= 2
+
+    @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
+    def test_most_recent_line_always_resident(self, lines):
+        cache = tiny_cache(ways=2, sets=4)
+        for line in lines:
+            cache.access(line, False)
+        assert cache.lookup(lines[-1])
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+    def test_hits_plus_misses_equals_accesses(self, accesses):
+        cache = tiny_cache()
+        for line, is_write in accesses:
+            cache.access(line, is_write)
+        assert cache.stats.accesses == len(accesses)

@@ -1,0 +1,125 @@
+"""Tests for repro.core.checkpoint: the Prosper OS-side checkpoint engine."""
+
+from repro.config import TrackerConfig, setup_i
+from repro.core.bitmap import DirtyBitmap
+from repro.core.checkpoint import ProsperCheckpointEngine
+from repro.core.tracker import ProsperTracker
+from repro.memory.address import AddressRange
+from repro.memory.hierarchy import MemoryHierarchy
+
+REGION = AddressRange(0x7000_0000, 0x7001_0000)
+
+
+def engine() -> tuple[ProsperCheckpointEngine, ProsperTracker, DirtyBitmap]:
+    tracker = ProsperTracker(TrackerConfig())
+    bitmap = DirtyBitmap(REGION, 8)
+    tracker.configure(bitmap)
+    hierarchy = MemoryHierarchy(setup_i())
+    return ProsperCheckpointEngine(tracker, bitmap, hierarchy), tracker, bitmap
+
+
+class TestCheckpoint:
+    def test_empty_checkpoint(self):
+        ck, _, _ = engine()
+        result = ck.checkpoint(0)
+        assert result.copied_bytes == 0
+        assert result.runs == 0
+        assert result.committed
+        assert ck.last_committed_interval == 0
+
+    def test_copies_exactly_dirty_bytes(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.start + 64, 8)
+        tracker.observe_store(REGION.start + 72, 8)
+        result = ck.checkpoint(0)
+        assert result.copied_bytes == 16
+        assert result.runs == 1  # contiguous granules coalesce
+
+    def test_bitmap_cleared_after_checkpoint(self):
+        ck, tracker, bitmap = engine()
+        tracker.observe_store(REGION.start + 64, 8)
+        ck.checkpoint(0)
+        assert bitmap.dirty_granule_count() == 0
+        # Next interval starts from a clean tracker.
+        assert tracker.min_dirty_address is None
+
+    def test_active_low_hint_bounds_inspection(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.end - 64, 8)
+        near_top = ck.checkpoint(0, active_low_hint=REGION.end - 4096)
+        ck2, tracker2, _ = engine()
+        tracker2.observe_store(REGION.end - 64, 8)
+        # Force a full walk by hinting the region base.
+        full = ck2.checkpoint(0, active_low_hint=REGION.start)
+        assert near_top.words_inspected < full.words_inspected
+        assert near_top.copied_bytes == full.copied_bytes
+
+    def test_sequential_intervals_accumulate_results(self):
+        ck, tracker, _ = engine()
+        for i in range(3):
+            tracker.observe_store(REGION.start + i * 1024, 8)
+            ck.checkpoint(i)
+        assert [r.interval_index for r in ck.results] == [0, 1, 2]
+        assert ck.last_committed_interval == 2
+
+    def test_checkpoint_time_grows_with_dirty_data(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.start, 8)
+        small = ck.checkpoint(0)
+        for i in range(512):
+            tracker.observe_store(REGION.start + i * 8, 8)
+        large = ck.checkpoint(1)
+        assert large.cycles > small.cycles
+        assert large.copied_bytes > small.copied_bytes
+
+
+class TestCrashConsistency:
+    def test_crash_after_stage_leaves_uncommitted(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.start, 8)
+        result = ck.checkpoint(0, crash_after_stage=True)
+        assert not result.committed
+        assert ck.last_committed_interval is None
+        assert ck.staged is not None and not ck.staged.committed
+
+    def test_recover_staged_completes_commit(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.start, 8)
+        ck.checkpoint(0, crash_after_stage=True)
+        recovered = ck.recover_staged()
+        assert recovered == 0
+        assert ck.staged.committed
+
+    def test_recover_without_staged_returns_last_committed(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.start, 8)
+        ck.checkpoint(0)
+        assert ck.recover_staged() == 0
+
+    def test_crash_then_next_checkpoint_still_consistent(self):
+        ck, tracker, _ = engine()
+        tracker.observe_store(REGION.start, 8)
+        ck.checkpoint(0, crash_after_stage=True)
+        ck.recover_staged()
+        tracker.observe_store(REGION.start + 4096, 8)
+        # Note: after a crash-recovery, the OS restarts the interval.
+        result = ck.checkpoint(1)
+        assert result.committed
+        assert ck.last_committed_interval == 1
+
+
+class TestFixedScale:
+    def test_scale_reduces_fixed_costs(self):
+        ck_full, tr1, _ = engine()
+        tr1.observe_store(REGION.start, 8)
+        full = ck_full.checkpoint(0)
+
+        tracker = ProsperTracker(TrackerConfig())
+        bitmap = DirtyBitmap(REGION, 8)
+        tracker.configure(bitmap)
+        ck_scaled = ProsperCheckpointEngine(
+            tracker, bitmap, MemoryHierarchy(setup_i()), fixed_scale=0.01
+        )
+        tracker.observe_store(REGION.start, 8)
+        scaled = ck_scaled.checkpoint(0)
+        assert scaled.cycles < full.cycles

@@ -1,0 +1,96 @@
+"""Tests for repro.memory.devices: DRAM/NVM timing and write buffering."""
+
+import pytest
+
+from repro.config import DramConfig, NvmConfig
+from repro.memory.devices import DramDevice, NvmDevice
+
+
+class TestDram:
+    def test_read_latency(self):
+        dram = DramDevice()
+        assert dram.read(64) == DramConfig().read_latency_cycles
+
+    def test_stats_accumulate(self):
+        dram = DramDevice()
+        dram.read(64)
+        dram.read(64)
+        dram.write(64)
+        assert dram.stats.reads == 2
+        assert dram.stats.writes == 1
+        assert dram.stats.read_bytes == 128
+
+    def test_bulk_read_scales_with_size(self):
+        dram = DramDevice()
+        small = dram.bulk_read(64)
+        large = dram.bulk_read(64 * 1024)
+        assert large > small
+
+    def test_bulk_zero_is_free(self):
+        dram = DramDevice()
+        assert dram.bulk_read(0) == 0
+        assert dram.bulk_write(0) == 0
+
+    def test_bulk_latency_scale(self):
+        dram = DramDevice()
+        full = dram.bulk_read(4096, latency_scale=1.0)
+        scaled = dram.bulk_read(4096, latency_scale=0.0)
+        assert full - scaled == dram.read_latency_cycles
+
+    def test_stream_cycles_linear(self):
+        dram = DramDevice()
+        assert dram.stream_cycles(2048) == pytest.approx(
+            2 * dram.stream_cycles(1024), abs=1
+        )
+
+    def test_stats_reset(self):
+        dram = DramDevice()
+        dram.read(64)
+        dram.stats.reset()
+        assert dram.stats.reads == 0
+
+
+class TestNvm:
+    def test_slower_than_dram(self):
+        nvm, dram = NvmDevice(), DramDevice()
+        assert nvm.read_latency_cycles > dram.read_latency_cycles
+        assert nvm.write_latency_cycles > nvm.read_latency_cycles
+
+    def test_buffered_write_is_cheap_when_empty(self):
+        nvm = NvmDevice()
+        # First write enters the buffer: admission cost only.
+        assert nvm.write(64, now=0) < nvm.write_latency_cycles
+
+    def test_write_buffer_backpressure(self):
+        nvm = NvmDevice()
+        costs = [nvm.write(64, now=0) for _ in range(100)]
+        # Once the 48-entry buffer fills, stalls appear.
+        assert max(costs[50:]) > costs[0]
+        assert nvm.write_buffer_stalls > 0
+
+    def test_drain_relieves_backpressure(self):
+        nvm = NvmDevice()
+        for _ in range(60):
+            nvm.write(64, now=0)
+        stalled = nvm.write(64, now=0)
+        # Much later, the buffer has drained.
+        relaxed = nvm.write(64, now=10_000_000)
+        assert relaxed < stalled
+
+    def test_persist_barrier_waits_for_occupancy(self):
+        nvm = NvmDevice()
+        assert nvm.persist_barrier(now=0) == 0
+        nvm.write(64, now=0)
+        wait = nvm.persist_barrier(now=0)
+        assert wait > 0
+        # After the barrier the buffer is empty again.
+        assert nvm.persist_barrier(now=0) == 0
+
+    def test_bulk_write_bandwidth_below_dram(self):
+        nvm, dram = NvmDevice(), DramDevice()
+        assert nvm.bulk_write(1 << 20) > dram.bulk_write(1 << 20)
+
+    def test_custom_config(self):
+        cfg = NvmConfig(write_latency_ns=900.0)
+        nvm = NvmDevice(cfg)
+        assert nvm.write_latency_cycles == 2700

@@ -1,0 +1,72 @@
+"""Tests for the NVM endurance analysis."""
+
+import math
+
+import pytest
+
+from repro.analysis.endurance import EnduranceReport, endurance_report
+from repro.config import setup_i
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+def report(nvm_bytes=1000, writes=10, dirty=100, cycles=3_000_000_000):
+    return EnduranceReport(
+        mechanism="x",
+        nvm_write_bytes=nvm_bytes,
+        nvm_writes=writes,
+        app_dirty_bytes=dirty,
+        elapsed_cycles=cycles,
+    )
+
+
+class TestEnduranceReport:
+    def test_write_amplification(self):
+        assert report(nvm_bytes=500, dirty=100).write_amplification == 5.0
+
+    def test_amplification_with_no_dirty_data(self):
+        assert report(nvm_bytes=0, dirty=0).write_amplification == 0.0
+        assert math.isinf(report(nvm_bytes=10, dirty=0).write_amplification)
+
+    def test_bandwidth(self):
+        # 1e6 bytes over one second at 3 GHz = 1 MB/s.
+        r = report(nvm_bytes=1_000_000, cycles=3_000_000_000)
+        assert r.write_bandwidth_mbps == pytest.approx(1.0)
+
+    def test_zero_cycles(self):
+        assert report(cycles=0).write_bandwidth_mbps == 0.0
+        assert math.isinf(report(nvm_bytes=0, cycles=0).lifetime_years())
+
+    def test_lifetime_monotone_in_write_volume(self):
+        light = report(nvm_bytes=1_000)
+        heavy = report(nvm_bytes=1_000_000)
+        assert light.lifetime_years() > heavy.lifetime_years()
+
+    def test_lifetime_scales_with_endurance(self):
+        base = report()
+        tougher = EnduranceReport(
+            "x", base.nvm_write_bytes, base.nvm_writes, base.app_dirty_bytes,
+            base.elapsed_cycles, cell_endurance=base.cell_endurance * 10
+        )
+        assert tougher.lifetime_years() == pytest.approx(
+            base.lifetime_years() * 10
+        )
+
+    def test_no_writes_lives_forever(self):
+        assert math.isinf(report(nvm_bytes=0).lifetime_years())
+
+
+class TestFromHierarchy:
+    def test_reads_device_counters(self):
+        h = MemoryHierarchy(setup_i())
+        h.nvm.write(64)
+        h.nvm.write(64)
+        r = endurance_report("m", h, app_dirty_bytes=64, elapsed_cycles=100)
+        assert r.nvm_writes == 2
+        assert r.nvm_write_bytes == 128
+        assert r.mechanism == "m"
+
+    def test_no_nvm_machine(self):
+        h = MemoryHierarchy(setup_i())
+        h.nvm = None
+        r = endurance_report("m", h, 0, 0)
+        assert r.nvm_write_bytes == 0

@@ -1,0 +1,63 @@
+"""Tests for repro.core.energy: the CACTI-P lookup-table energy model."""
+
+import pytest
+
+from repro.core.energy import (
+    AREA_MM2,
+    LEAKAGE_POWER_MW,
+    READ_ENERGY_NJ,
+    WRITE_ENERGY_NJ,
+    EnergyModel,
+)
+
+
+class TestPaperNumbers:
+    def test_published_constants(self):
+        assert READ_ENERGY_NJ == pytest.approx(0.000773194)
+        assert WRITE_ENERGY_NJ == pytest.approx(0.000128375)
+        assert LEAKAGE_POWER_MW == pytest.approx(0.01067596)
+        assert AREA_MM2 == pytest.approx(0.000704786)
+
+
+class TestReports:
+    def test_dynamic_energy_scales_with_accesses(self):
+        model = EnergyModel()
+        r = model.report(reads=1000, writes=500, elapsed_cycles=0)
+        assert r.dynamic_read_nj == pytest.approx(1000 * READ_ENERGY_NJ)
+        assert r.dynamic_write_nj == pytest.approx(500 * WRITE_ENERGY_NJ)
+        assert r.dynamic_nj == r.dynamic_read_nj + r.dynamic_write_nj
+        assert r.leakage_nj == 0.0
+
+    def test_leakage_scales_with_time(self):
+        model = EnergyModel()
+        one_second = model.report(0, 0, elapsed_cycles=3_000_000_000)
+        # 0.01067596 mW for 1 s = 0.01067596 mJ = 10675.96 nJ
+        assert one_second.leakage_nj == pytest.approx(10675.96, rel=1e-4)
+
+    def test_total(self):
+        r = EnergyModel().report(10, 10, 3_000_000)
+        assert r.total_nj == pytest.approx(r.dynamic_nj + r.leakage_nj)
+
+    def test_area_attached(self):
+        assert EnergyModel().report(0, 0, 0).area_mm2 == AREA_MM2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyModel().report(-1, 0, 0)
+        with pytest.raises(ValueError):
+            EnergyModel(read_energy_nj=-1.0)
+
+    def test_report_for_tracker(self):
+        from repro.config import TrackerConfig
+        from repro.core.bitmap import DirtyBitmap
+        from repro.core.tracker import ProsperTracker
+        from repro.memory.address import AddressRange
+
+        tracker = ProsperTracker(TrackerConfig())
+        bm = DirtyBitmap(AddressRange(0, 65536), 8)
+        tracker.configure(bm)
+        tracker.observe_store(100, 8)
+        report = EnergyModel().report_for_tracker(tracker, elapsed_cycles=300)
+        assert report.reads == tracker.table_reads
+        assert report.writes == tracker.table_writes
+        assert report.dynamic_nj > 0

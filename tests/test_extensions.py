@@ -1,0 +1,83 @@
+"""Tests for the extension experiments (Prosper on heap, adaptive loops)."""
+
+from repro.core.adaptive import PAGE_FALLBACK
+from repro.experiments import extensions
+
+
+class TestProsperHeap:
+    def test_prosper_heap_competitive_with_ssp_heap(self):
+        cells = extensions.prosper_heap_experiment(target_ops=20_000)
+        by_key = {(c.workload, c.heap_mechanism): c.normalized_time for c in cells}
+        for workload in {c.workload for c in cells}:
+            # Tracking the heap with Prosper must not be worse than SSP-10us
+            # on the heap (the paper argues the design generalizes).
+            assert by_key[(workload, "prosper")] <= by_key[(workload, "ssp-10us")]
+
+    def test_normalized_times_sane(self):
+        cells = extensions.prosper_heap_experiment(target_ops=15_000)
+        for c in cells:
+            assert c.normalized_time >= 1.0
+
+
+class TestAdaptiveGranularity:
+    def test_stream_adapts_away_from_8b(self):
+        cells = extensions.adaptive_granularity_experiment()
+        stream_adaptive = next(
+            c for c in cells
+            if c.workload == "stream" and c.mechanism == "prosper-adaptive"
+        )
+        assert stream_adaptive.final_granularity > 8
+        assert stream_adaptive.transitions >= 1
+
+    def test_sparse_stays_fine(self):
+        cells = extensions.adaptive_granularity_experiment()
+        sparse_adaptive = next(
+            c for c in cells
+            if c.workload == "sparse" and c.mechanism == "prosper-adaptive"
+        )
+        assert sparse_adaptive.final_granularity == 8
+
+    def test_adaptive_never_much_worse_than_fixed(self):
+        cells = extensions.adaptive_granularity_experiment()
+        for workload in {c.workload for c in cells}:
+            fixed = next(c for c in cells if c.workload == workload and c.mechanism == "prosper-8B")
+            adaptive = next(c for c in cells if c.workload == workload and c.mechanism == "prosper-adaptive")
+            assert adaptive.normalized_time <= fixed.normalized_time * 1.10
+
+
+class TestAdaptiveWatermarks:
+    def test_directions_diverge(self):
+        results = extensions.adaptive_watermark_experiment(target_ops=20_000)
+        by_name = {r.workload: r for r in results}
+        sssp = by_name["g500_sssp"]
+        mcf = by_name["605.mcf_s"]
+        # SSSP prefers large HWM, mcf small: the hill climbers should end
+        # on opposite sides of the starting point (or at least not both on
+        # the same extreme).
+        assert sssp.final_hwm >= mcf.final_hwm
+        assert sssp.history[0] == 20
+
+
+class TestCrossThreadWrites:
+    def test_overhead_grows_with_fraction(self):
+        cells = extensions.cross_thread_write_experiment(
+            fractions=(0.0, 0.05, 0.20), writes_per_thread=800
+        )
+        base = cells[0]
+        assert base.cross_writes == 0
+        overheads = [c.overhead_vs(base) for c in cells]
+        assert overheads[0] == 1.0
+        assert overheads[1] < overheads[2]
+
+    def test_rare_regime_is_cheap(self):
+        cells = extensions.cross_thread_write_experiment(
+            fractions=(0.0, 0.01), writes_per_thread=800
+        )
+        # ~1% cross-writes (the paper's "rare" observation): modest cost.
+        assert cells[1].overhead_vs(cells[0]) < 1.25
+
+    def test_cross_writes_counted(self):
+        cells = extensions.cross_thread_write_experiment(
+            fractions=(0.20,), writes_per_thread=500
+        )
+        assert 100 < cells[0].cross_writes < 300  # ~20% of 1000

@@ -1,0 +1,199 @@
+"""Tests for repro.kernel: layout, vmem, processes, scheduler."""
+
+import pytest
+
+from repro.config import TrackerConfig
+from repro.core.tracker import ProsperTracker
+from repro.kernel.layout import AddressSpaceLayout
+from repro.kernel.process import Process
+from repro.kernel.scheduler import BASE_SWITCH_CYCLES, Scheduler
+from repro.kernel.vmem import PageTable
+from repro.memory.address import AddressRange
+
+
+class TestLayout:
+    def test_stacks_allocated_top_down_with_guards(self):
+        layout = AddressSpaceLayout()
+        s1 = layout.allocate_stack(1 << 20)
+        s2 = layout.allocate_stack(1 << 20)
+        assert s2.end < s1.start  # guard gap between stacks
+        assert s1.start - s2.end == layout.guard_bytes
+        assert not s1.overlaps(s2)
+
+    def test_bitmap_areas_disjoint(self):
+        layout = AddressSpaceLayout()
+        s1 = layout.allocate_stack(1 << 20)
+        s2 = layout.allocate_stack(1 << 20)
+        b1 = layout.allocate_bitmap_area(s1, 8)
+        b2 = layout.allocate_bitmap_area(s2, 8)
+        bitmap_bytes = (1 << 20) // 8 // 32 * 4
+        assert b2 >= b1 + bitmap_bytes
+
+    def test_persistent_stack_in_nvm(self):
+        layout = AddressSpaceLayout()
+        stack = layout.allocate_stack(1 << 20)
+        pstack = layout.allocate_persistent_stack(stack)
+        assert layout.is_nvm_address(pstack.start)
+        assert pstack.size == stack.size
+
+    def test_exhaustion_detected(self):
+        layout = AddressSpaceLayout()
+        with pytest.raises(MemoryError):
+            for _ in range(10_000):
+                layout.allocate_stack(1 << 20)
+
+
+class TestPageTable:
+    def test_map_and_touch(self):
+        pt = PageTable()
+        pt.map_range(AddressRange(0, 8192))
+        assert pt.mapped_pages == 2
+        pt.touch(100, 8, is_write=True)
+        assert pt.entries[0].dirty
+
+    def test_unmapped_access_raises(self):
+        pt = PageTable()
+        with pytest.raises(MemoryError):
+            pt.touch(0x5000, 8, is_write=False)
+
+    def test_on_demand_stack_growth(self):
+        pt = PageTable()
+        stack = AddressRange(0x10000, 0x20000)
+        faults = pt.touch(0x10008, 8, True, stack_region=stack)
+        assert faults == 1
+        assert pt.is_mapped(0x10008)
+        assert pt.faults[0].kind == "demand-map"
+
+    def test_write_protect_faults_once(self):
+        pt = PageTable()
+        rng = AddressRange(0, 4096)
+        pt.map_range(rng)
+        pt.write_protect(rng)
+        assert pt.touch(0, 8, True) == 1  # WP fault
+        assert pt.touch(8, 8, True) == 0  # now writable
+
+    def test_collect_and_clear_dirty(self):
+        pt = PageTable()
+        pt.map_range(AddressRange(0, 4 * 4096))
+        pt.touch(0, 8, True)
+        pt.touch(2 * 4096, 8, True)
+        dirty = pt.collect_and_clear_dirty()
+        assert sorted(dirty) == [0, 2]
+        assert pt.collect_and_clear_dirty() == []
+
+    def test_collect_scoped_to_range(self):
+        pt = PageTable()
+        pt.map_range(AddressRange(0, 4 * 4096))
+        pt.touch(0, 8, True)
+        pt.touch(3 * 4096, 8, True)
+        dirty = pt.collect_and_clear_dirty(AddressRange(0, 4096))
+        assert dirty == [0]
+        # The out-of-range page stays dirty.
+        assert pt.entries[3].dirty
+
+    def test_clone_view_read_only_region(self):
+        pt = PageTable()
+        pt.map_range(AddressRange(0, 2 * 4096))
+        view = pt.clone_view(read_only=AddressRange(4096, 8192))
+        assert view.entries[0].writable
+        assert not view.entries[1].writable
+        # Base table unchanged.
+        assert pt.entries[1].writable
+
+
+class TestProcess:
+    def test_spawn_thread_nonpersistent(self):
+        proc = Process()
+        t = proc.spawn_thread(stack_bytes=1 << 20)
+        assert not t.persistent
+        assert t.registers.stack_pointer == t.stack.end
+
+    def test_spawn_persistent_thread_sets_up_metadata(self):
+        proc = Process(tracker_config=TrackerConfig(granularity_bytes=16))
+        t = proc.spawn_thread(stack_bytes=1 << 20, persistent=True)
+        assert t.persistent
+        assert t.bitmap.granularity == 16
+        assert t.bitmap.region == t.stack
+        assert t.persistent_stack.size == t.stack.size
+
+    def test_thread_ids_unique(self):
+        proc = Process()
+        tids = {proc.spawn_thread(1 << 20).tid for _ in range(5)}
+        assert len(tids) == 5
+
+    def test_cross_thread_write_recorded_in_victim_bitmap(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        t2 = proc.spawn_thread(1 << 20, persistent=True)
+        address = t1.stack.start + 128
+        handled = proc.handle_cross_thread_write(t2.tid, address, 8)
+        assert handled
+        assert t1.bitmap.is_dirty(address)
+
+    def test_own_stack_write_not_cross_thread(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        assert not proc.handle_cross_thread_write(t1.tid, t1.stack.start, 8)
+
+    def test_thread_view_protects_other_stacks(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        t2 = proc.spawn_thread(1 << 20, persistent=True)
+        proc.page_table.map_range(t1.stack)
+        proc.page_table.map_range(t2.stack)
+        view = proc.build_thread_view(t1.tid)
+        own_page = t1.stack.start // 4096
+        other_page = t2.stack.start // 4096
+        assert view.entries[own_page].writable
+        assert not view.entries[other_page].writable
+
+
+class TestScheduler:
+    def test_switch_between_persistent_threads(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        t2 = proc.spawn_thread(1 << 20, persistent=True)
+        tracker = ProsperTracker(proc.tracker_config)
+        sched = Scheduler(tracker)
+
+        c1 = sched.switch_to(t1)
+        assert c1 >= BASE_SWITCH_CYCLES
+        tracker.observe_store(t1.stack.start + 64, 8)
+        sched.switch_to(t2)
+        # The outgoing thread's dirty info was flushed to its bitmap.
+        assert t1.bitmap.is_dirty(t1.stack.start + 64)
+        # And its tracker state saved.
+        assert t1.tracker_state is not None
+
+    def test_state_restored_on_return(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        t2 = proc.spawn_thread(1 << 20, persistent=True)
+        tracker = ProsperTracker(proc.tracker_config)
+        sched = Scheduler(tracker)
+        sched.switch_to(t1)
+        sched.switch_to(t2)
+        sched.switch_to(t1)
+        assert tracker.msrs.stack_range == t1.stack
+        assert t1.tracker_state is None  # consumed by restore
+
+    def test_prosper_overhead_tracked(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        t2 = proc.spawn_thread(1 << 20, persistent=True)
+        sched = Scheduler(ProsperTracker(proc.tracker_config))
+        for i in range(10):
+            sched.switch_to((t1, t2)[i % 2])
+        assert sched.stats.switches == 10
+        assert sched.stats.mean_prosper_overhead > 0
+
+    def test_nonpersistent_thread_disables_tracker(self):
+        proc = Process()
+        t1 = proc.spawn_thread(1 << 20, persistent=True)
+        t2 = proc.spawn_thread(1 << 20, persistent=False)
+        tracker = ProsperTracker(proc.tracker_config)
+        sched = Scheduler(tracker)
+        sched.switch_to(t1)
+        assert tracker.msrs.enabled
+        sched.switch_to(t2)
+        assert not tracker.msrs.enabled

@@ -1,0 +1,176 @@
+"""Tests for repro.core.lookup_table: coalescing, HWM/LWM, eviction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import TrackerConfig
+from repro.core.bitmap import DirtyBitmap
+from repro.core.lookup_table import LookupTable, popcount
+from repro.core.policies import AllocationPolicy
+from repro.memory.address import AddressRange
+
+REGION = AddressRange(0, 1 << 20)
+
+
+def make(entries=4, hwm=24, lwm=8, policy=AllocationPolicy.ACCUMULATE_AND_APPLY):
+    cfg = TrackerConfig(
+        lookup_table_entries=entries, high_water_mark=hwm, low_water_mark=lwm
+    )
+    return LookupTable(cfg, policy), DirtyBitmap(REGION, 8)
+
+
+class TestPopcount:
+    def test_values(self):
+        assert popcount(0) == 0
+        assert popcount(0xFFFF_FFFF) == 32
+        assert popcount(0b1010) == 2
+
+
+class TestCoalescing:
+    def test_hit_coalesces_without_memory_ops(self):
+        table, bm = make()
+        ops = table.record(0, 0, bm)
+        ops += table.record(0, 1, bm)
+        ops += table.record(0, 2, bm)
+        assert ops == 0  # accumulate-and-apply: no loads until write-out
+        assert table.stats.hits == 2
+        assert table.stats.misses == 1
+        assert len(table) == 1
+
+    def test_flush_applies_accumulated_bits(self):
+        table, bm = make()
+        table.record(0, 3, bm)
+        table.record(0, 5, bm)
+        ops = table.flush(bm)
+        assert ops == 2  # one load + one store
+        assert bm.load_word(0) == (1 << 3) | (1 << 5)
+        assert len(table) == 0
+
+    def test_flush_elides_store_when_bits_already_set(self):
+        table, bm = make()
+        bm.store_word(0, 1 << 4)
+        table.record(0, 4, bm)
+        ops = table.flush(bm)
+        assert ops == 1  # load only; store elided
+        assert table.stats.elided_stores == 1
+
+    def test_repeated_same_bit_is_single_bit(self):
+        table, bm = make()
+        for _ in range(10):
+            table.record(2, 7, bm)
+        table.flush(bm)
+        assert bm.load_word(2) == 1 << 7
+
+
+class TestHighWaterMark:
+    def test_hwm_triggers_writeout(self):
+        table, bm = make(hwm=4)
+        ops = 0
+        for bit in range(4):
+            ops += table.record(0, bit, bm)
+        assert table.stats.hwm_writeouts == 1
+        assert len(table) == 0  # entry freed after write-out
+        assert popcount(bm.load_word(0)) == 4
+
+    def test_below_hwm_no_writeout(self):
+        table, bm = make(hwm=4)
+        for bit in range(3):
+            table.record(0, bit, bm)
+        assert table.stats.hwm_writeouts == 0
+        assert len(table) == 1
+
+
+class TestEviction:
+    def test_lwm_prefers_sparse_victims(self):
+        table, bm = make(entries=2, hwm=32, lwm=8)
+        # Entry for word 0: 5 bits (sparse); word 1: 7 bits (denser).
+        for bit in range(5):
+            table.record(0, bit, bm)
+        for bit in range(7):
+            table.record(1, bit, bm)
+        # Table full; new word forces eviction of the sparsest (word 0).
+        table.record(2, 0, bm)
+        assert table.stats.lwm_evictions == 1
+        assert popcount(bm.load_word(0)) == 5
+        assert bm.load_word(1) == 0  # denser entry survived
+
+    def test_random_eviction_when_no_lwm_candidates(self):
+        table, bm = make(entries=2, hwm=32, lwm=2)
+        for bit in range(10):
+            table.record(0, bit, bm)
+        for bit in range(10):
+            table.record(1, bit, bm)
+        table.record(2, 0, bm)
+        assert table.stats.random_evictions == 1
+        assert table.stats.lwm_evictions == 0
+
+    def test_occupancy_never_exceeds_capacity(self):
+        table, bm = make(entries=3, hwm=32, lwm=32)
+        for word in range(50):
+            table.record(word, word % 32, bm)
+        assert len(table) <= 3
+
+
+class TestLoadAndUpdatePolicy:
+    def test_allocation_issues_load(self):
+        table, bm = make(policy=AllocationPolicy.LOAD_AND_UPDATE)
+        bm.store_word(0, 1 << 31)
+        ops = table.record(0, 0, bm)
+        assert ops == 1
+        assert table.stats.bitmap_loads == 1
+
+    def test_writeout_is_store_only(self):
+        table, bm = make(policy=AllocationPolicy.LOAD_AND_UPDATE)
+        bm.store_word(0, 1 << 31)
+        table.record(0, 0, bm)
+        ops = table.flush(bm)
+        assert ops == 1  # store only: value already merged in the table
+        assert bm.load_word(0) == (1 << 31) | 1
+
+    def test_policy_properties(self):
+        assert AllocationPolicy.ACCUMULATE_AND_APPLY.loads_on_writeout
+        assert not AllocationPolicy.ACCUMULATE_AND_APPLY.loads_on_allocation
+        assert AllocationPolicy.LOAD_AND_UPDATE.loads_on_allocation
+        assert not AllocationPolicy.LOAD_AND_UPDATE.loads_on_writeout
+
+
+class TestInvariants:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 31)),
+            min_size=1,
+            max_size=400,
+        ),
+        st.sampled_from(list(AllocationPolicy)),
+    )
+    def test_flush_leaves_bitmap_equal_to_reference(self, records, policy):
+        """After a flush, the bitmap holds exactly the union of recorded bits
+        regardless of HWM/LWM pressure or the allocation policy."""
+        table, bm = make(entries=4, hwm=6, lwm=3, policy=policy)
+        reference: dict[int, int] = {}
+        for word, bit in records:
+            table.record(word, bit, bm)
+            reference[word] = reference.get(word, 0) | (1 << bit)
+        table.flush(bm)
+        for word, value in reference.items():
+            assert bm.load_word(word) == value
+
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 31)), max_size=300
+        )
+    )
+    def test_stats_accounting_consistent(self, records):
+        table, bm = make(entries=4)
+        for word, bit in records:
+            table.record(word, bit, bm)
+        table.flush(bm)
+        s = table.stats
+        assert s.hits + s.misses == len(records)
+        writeouts = (
+            s.hwm_writeouts + s.lwm_evictions + s.random_evictions + s.flush_writeouts
+        )
+        # Accumulate-and-apply: every write-out issues exactly one load.
+        assert s.bitmap_loads == writeouts
+        assert s.bitmap_stores + s.elided_stores == writeouts

@@ -1,0 +1,71 @@
+"""Tests for repro.core.msr: the OS/hardware MSR interface."""
+
+import pytest
+
+from repro.core.msr import ControlBits, Msr, MsrBank
+from repro.memory.address import AddressRange
+
+
+class TestReadWrite:
+    def test_stack_range_roundtrip(self):
+        bank = MsrBank()
+        bank.write(Msr.STACK_START, 0x1000)
+        bank.write(Msr.STACK_END, 0x9000)
+        assert bank.read(Msr.STACK_START) == 0x1000
+        assert bank.stack_range == AddressRange(0x1000, 0x9000)
+
+    def test_granularity_validation(self):
+        bank = MsrBank()
+        bank.write(Msr.GRANULARITY, 64)
+        assert bank.granularity == 64
+        with pytest.raises(ValueError):
+            bank.write(Msr.GRANULARITY, 10)
+        with pytest.raises(ValueError):
+            bank.write(Msr.GRANULARITY, 0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            MsrBank().write(Msr.BITMAP_BASE, -1)
+
+    def test_status_read_only(self):
+        with pytest.raises(PermissionError):
+            MsrBank().write(Msr.STATUS, 5)
+
+    def test_status_reflects_outstanding_ops(self):
+        bank = MsrBank()
+        bank.outstanding_ops = 7
+        assert bank.read(Msr.STATUS) == 7
+
+
+class TestControl:
+    def test_enable_flag(self):
+        bank = MsrBank()
+        assert not bank.enabled
+        bank.write(Msr.CONTROL, int(ControlBits.ENABLE))
+        assert bank.enabled
+
+    def test_flush_flag_set_and_clear(self):
+        bank = MsrBank()
+        bank.write(Msr.CONTROL, int(ControlBits.ENABLE | ControlBits.FLUSH))
+        assert bank.flush_requested
+        bank.clear_flush()
+        assert not bank.flush_requested
+        assert bank.enabled  # clearing flush keeps enable
+
+
+class TestSnapshot:
+    def test_snapshot_copies_config(self):
+        bank = MsrBank()
+        bank.write(Msr.STACK_START, 0x4000)
+        bank.write(Msr.GRANULARITY, 16)
+        bank.outstanding_ops = 3
+        snap = bank.snapshot()
+        assert snap.stack_start == 0x4000
+        assert snap.granularity == 16
+        assert snap.outstanding_ops == 0  # in-flight ops are not state
+
+    def test_snapshot_is_independent(self):
+        bank = MsrBank()
+        snap = bank.snapshot()
+        bank.write(Msr.STACK_START, 0x8888)
+        assert snap.stack_start == 0

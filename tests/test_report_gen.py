@@ -1,0 +1,41 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report_gen import ReportSection, _md_table, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One live report shared by all assertions (generation is expensive)."""
+    return generate_report(ops=12_000, seeds=(42,), timestamp="2026-01-01")
+
+
+class TestMdTable:
+    def test_structure(self):
+        md = _md_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = md.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert lines[-1] == "| 3 | 4 |"
+
+    def test_section_dataclass(self):
+        section = ReportSection("T", "body")
+        assert section.title == "T"
+
+
+class TestGenerateReport:
+    def test_contains_every_section(self, report):
+        for expected in (
+            "# Prosper reproduction report",
+            "Figure 1", "Figure 2", "Figure 4", "Figure 8",
+            "Figure 10", "Figure 12", "Figure 13",
+            "Shape validation",
+        ):
+            assert expected in report, f"missing section: {expected}"
+
+    def test_timestamp_injected(self, report):
+        assert "Generated 2026-01-01" in report
+
+    def test_validation_passes_at_default_scale(self, report):
+        assert "**all shape checks pass**" in report

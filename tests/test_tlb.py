@@ -1,0 +1,103 @@
+"""Tests for the TLB / page-table-walker model."""
+
+from hypothesis import given, strategies as st
+
+from repro.memory.tlb import Tlb, TlbConfig
+
+
+def tiny_tlb(entries=8, associativity=2):
+    return Tlb(TlbConfig(entries=entries, associativity=associativity))
+
+
+class TestTranslation:
+    def test_first_access_walks(self):
+        tlb = tiny_tlb()
+        cost = tlb.translate(0x1000, is_write=False)
+        assert cost == tlb.config.walk_cycles
+        assert tlb.stats.misses == 1
+
+    def test_second_access_hits_free(self):
+        tlb = tiny_tlb()
+        tlb.translate(0x1000, False)
+        assert tlb.translate(0x1234, False) == 0  # same page
+        assert tlb.stats.hits == 1
+
+    def test_first_write_pays_dirty_update(self):
+        tlb = tiny_tlb()
+        tlb.translate(0x1000, False)
+        cost = tlb.translate(0x1000, True)
+        assert cost == tlb.config.dirty_update_cycles
+        # Second write to the same page: dirty bit already set.
+        assert tlb.translate(0x1008, True) == 0
+        assert tlb.stats.dirty_updates == 1
+
+    def test_miss_plus_write_charges_both(self):
+        tlb = tiny_tlb()
+        cost = tlb.translate(0x5000, True)
+        assert cost == tlb.config.walk_cycles + tlb.config.dirty_update_cycles
+
+    def test_capacity_eviction_lru(self):
+        tlb = tiny_tlb(entries=2, associativity=1)
+        # Pages 0 and 2 map to set 0 (2 sets): 0 evicted by 2... with
+        # num_sets=2, pages 0 and 2 share set 0.
+        tlb.translate(0 * 4096, False)
+        tlb.translate(2 * 4096, False)
+        assert tlb.translate(0 * 4096, False) > 0  # 0 was evicted
+        assert tlb.stats.misses == 3
+
+
+class TestDirtyMaintenance:
+    def test_clear_dirty_bits_forces_new_updates(self):
+        tlb = tiny_tlb()
+        tlb.translate(0x1000, True)
+        assert tlb.clear_dirty_bits() == 1
+        assert tlb.translate(0x1000, True) == tlb.config.dirty_update_cycles
+        assert tlb.stats.dirty_updates == 2
+
+    def test_flush_empties(self):
+        tlb = tiny_tlb()
+        tlb.translate(0x1000, False)
+        tlb.flush()
+        assert tlb.resident_entries == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 63), st.booleans()), max_size=300))
+    def test_occupancy_bounded(self, accesses):
+        tlb = tiny_tlb(entries=8, associativity=2)
+        for page, is_write in accesses:
+            tlb.translate(page * 4096, is_write)
+        assert tlb.resident_entries <= 8
+        assert tlb.stats.accesses == len(accesses)
+
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=200))
+    def test_dirty_updates_at_most_once_per_page_between_clears(self, pages):
+        tlb = Tlb(TlbConfig(entries=64, associativity=64))  # no evictions
+        for page in pages:
+            tlb.translate(page * 4096, True)
+        assert tlb.stats.dirty_updates == len(set(pages))
+
+
+class TestEngineIntegration:
+    def test_engine_charges_translation(self):
+        from repro.config import setup_i
+        from repro.cpu.engine import ExecutionEngine
+        from repro.cpu.ops import Op, OpKind
+        from repro.memory.address import AddressRange
+        from dataclasses import replace
+
+        stack = AddressRange(0x7000_0000, 0x7010_0000)
+        ops = [Op(OpKind.READ, stack.start + 8, 8)] * 4
+
+        plain = ExecutionEngine(config=setup_i(), stack_range=stack)
+        base = plain.run(list(ops)).app_cycles
+
+        cfg = replace(setup_i(), tlb=TlbConfig())
+        with_tlb = ExecutionEngine(config=cfg, stack_range=stack)
+        total = with_tlb.run(list(ops)).app_cycles
+        # Exactly one TLB miss (one page), hits free afterwards.
+        assert total == base + TlbConfig().walk_cycles
+        assert with_tlb.tlb.stats.misses == 1
+
+    def test_engine_without_tlb_has_none(self):
+        from repro.cpu.engine import ExecutionEngine
+
+        assert ExecutionEngine().tlb is None

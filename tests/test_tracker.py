@@ -1,0 +1,144 @@
+"""Tests for repro.core.tracker: SOI filtering, flush protocol, ctx switch."""
+
+from repro.config import TrackerConfig
+from repro.core.bitmap import DirtyBitmap
+from repro.core.msr import ControlBits, Msr
+from repro.core.tracker import ProsperTracker
+from repro.memory.address import AddressRange
+
+REGION = AddressRange(0x7000_0000, 0x7001_0000)  # 64 KiB stack
+
+
+def tracker(granularity: int = 8, **kwargs) -> tuple[ProsperTracker, DirtyBitmap]:
+    cfg = TrackerConfig(granularity_bytes=granularity, **kwargs)
+    t = ProsperTracker(cfg)
+    bm = DirtyBitmap(REGION, granularity)
+    t.configure(bm)
+    return t, bm
+
+
+class TestSoiFiltering:
+    def test_store_inside_region_is_tracked(self):
+        t, bm = tracker()
+        t.observe_store(REGION.start + 128, 8)
+        t.request_flush()
+        t.poll_quiescent()
+        assert bm.is_dirty(REGION.start + 128)
+
+    def test_store_outside_region_ignored(self):
+        t, bm = tracker()
+        t.observe_store(REGION.end + 64, 8)
+        t.observe_store(REGION.start - 64, 8)
+        t.request_flush()
+        assert bm.dirty_granule_count() == 0
+
+    def test_partial_overlap_clamped(self):
+        t, bm = tracker()
+        # Write straddles the region end: only the inside part is tracked.
+        t.observe_store(REGION.end - 4, 8)
+        t.request_flush()
+        assert bm.is_dirty(REGION.end - 4)
+
+    def test_disabled_tracker_ignores_stores(self):
+        t, bm = tracker()
+        t.disable()
+        t.observe_store(REGION.start, 8)
+        assert bm.dirty_granule_count() == 0
+        assert len(t.table) == 0
+
+    def test_zero_size_store_ignored(self):
+        t, bm = tracker()
+        assert t.observe_store(REGION.start, 0) == 0
+
+    def test_multi_granule_store_sets_all_bits(self):
+        t, bm = tracker(granularity=8)
+        t.observe_store(REGION.start, 32)
+        t.request_flush()
+        assert bm.dirty_granule_count() == 4
+
+    def test_granularity_respected(self):
+        t, bm = tracker(granularity=64)
+        t.observe_store(REGION.start + 10, 8)
+        t.request_flush()
+        assert bm.dirty_granule_count() == 1
+        assert bm.is_dirty(REGION.start)  # whole 64B granule dirty
+
+
+class TestQuiescenceProtocol:
+    def test_flush_sets_and_clears_counters(self):
+        t, bm = tracker()
+        for i in range(40):
+            t.observe_store(REGION.start + i * 512, 8)
+        t.request_flush()
+        assert t.msrs.flush_requested
+        assert t.poll_quiescent() is True
+        assert not t.msrs.flush_requested
+        assert t.msrs.outstanding_ops == 0
+
+    def test_poll_without_flush_is_true(self):
+        t, _ = tracker()
+        assert t.poll_quiescent() is True
+
+    def test_begin_interval_resets_min_dirty(self):
+        t, _ = tracker()
+        t.observe_store(REGION.start + 64, 8)
+        assert t.min_dirty_address == REGION.start + 64
+        t.begin_interval()
+        assert t.min_dirty_address is None
+
+
+class TestActiveRegionTracking:
+    def test_min_dirty_address_tracks_lowest(self):
+        t, _ = tracker()
+        t.observe_store(REGION.start + 4096, 8)
+        t.observe_store(REGION.start + 512, 8)
+        t.observe_store(REGION.start + 8192, 8)
+        assert t.min_dirty_address == REGION.start + 512
+        assert t.msrs.min_dirty_address == REGION.start + 512
+
+
+class TestInterference:
+    def test_coalesced_stores_no_interference(self):
+        t, _ = tracker()
+        cost = t.observe_store(REGION.start, 8)
+        cost += t.observe_store(REGION.start + 8, 8)
+        assert cost == 0  # both land in one table entry, no memory ops yet
+
+    def test_hwm_writeout_costs_interference(self):
+        t, _ = tracker()
+        total = 0
+        # 8B granularity: 24 bits (HWM) of one word = 24 stores.
+        for i in range(24):
+            total += t.observe_store(REGION.start + i * 8, 8)
+        assert total > 0
+        assert t.stats.hwm_writeouts == 1
+
+
+class TestContextSwitch:
+    def test_save_restore_roundtrip(self):
+        t, bm = tracker()
+        t.observe_store(REGION.start + 100, 8)
+        state, save_cycles = t.save_state()
+        assert save_cycles >= t.STATE_SWAP_CYCLES
+        assert bm.is_dirty(REGION.start + 100)  # flush pushed bits out
+
+        # Another thread's context runs...
+        other_bm = DirtyBitmap(REGION, 8)
+        t.configure(other_bm)
+        t.observe_store(REGION.start + 200, 8)
+
+        restore_cycles = t.restore_state(state, bm)
+        assert restore_cycles == t.STATE_SWAP_CYCLES
+        assert t.msrs.stack_range == REGION
+        assert t.bitmap is bm
+
+    def test_save_without_bitmap_is_cheap(self):
+        cfg = TrackerConfig()
+        t = ProsperTracker(cfg)
+        state, cycles = t.save_state()
+        assert cycles == t.STATE_SWAP_CYCLES
+
+    def test_configure_enables(self):
+        t, _ = tracker()
+        assert t.msrs.enabled
+        assert t.msrs.read(Msr.CONTROL) & int(ControlBits.ENABLE)

@@ -1,0 +1,32 @@
+"""Tests for the seed-robustness validation module (single-seed, small)."""
+
+from repro.experiments.validation import CheckResult, summarize, validate_shapes
+
+
+class TestSummarize:
+    def test_counts_passes_and_totals(self):
+        results = [
+            CheckResult("a", 1, True, ""),
+            CheckResult("a", 2, False, ""),
+            CheckResult("b", 1, True, ""),
+        ]
+        assert summarize(results) == {"a": (1, 2), "b": (1, 1)}
+
+    def test_empty(self):
+        assert summarize([]) == {}
+
+
+class TestValidateShapes:
+    def test_single_seed_run_passes(self):
+        results = validate_shapes(seeds=(42,), target_ops=15_000)
+        assert results, "no checks ran"
+        names = {r.name for r in results}
+        assert "fig8-prosper-best" in names
+        assert "fig13-mcf-hwm-up" in names
+        failed = [r for r in results if not r.passed]
+        assert not failed, [f"{r.name}: {r.detail}" for r in failed]
+
+    def test_detail_strings_are_informative(self):
+        results = validate_shapes(seeds=(42,), target_ops=15_000)
+        for r in results:
+            assert r.detail  # every check explains itself
