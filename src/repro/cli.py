@@ -6,6 +6,7 @@ Usage::
     python -m repro fig8                 # one figure's table to stdout
     python -m repro all --ops 50000      # every figure, sequentially
     python -m repro fig10 --out results/ # also write the table to a file
+    python -m repro faults sweep         # crash-consistency sweep (fault injection)
 
 Each command drives the corresponding entry point in
 :mod:`repro.experiments` and prints the same plain-text table the
@@ -267,11 +268,118 @@ COMMANDS: dict[str, Callable[[int], str]] = {
 }
 
 
+def build_faults_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro faults",
+        description="Fault injection: crash-point sweep with verified "
+        "recovery, NVM media-error demos.",
+    )
+    sub = parser.add_subparsers(dest="action", required=True)
+    sweep = sub.add_parser(
+        "sweep",
+        help="crash at every enumerated point, recover, verify the invariant",
+    )
+    sweep.add_argument("--seed", type=int, default=0, help="workload seed")
+    sweep.add_argument("--threads", type=int, default=2)
+    sweep.add_argument("--intervals", type=int, default=3)
+    sweep.add_argument(
+        "--writes", type=int, default=4, help="dirty clusters per thread per interval"
+    )
+    sweep.add_argument(
+        "--transient-rate",
+        type=float,
+        default=0.0,
+        help="transient NVM write-failure probability during the sweep",
+    )
+    sweep.add_argument(
+        "--no-demos",
+        action="store_true",
+        help="skip the transient-retry and torn-metadata demos",
+    )
+    return parser
+
+
+def _faults_main(argv: list[str]) -> int:
+    from repro.faults.sweep import (
+        CrashConsistencyChecker,
+        torn_metadata_demo,
+        transient_retry_demo,
+    )
+
+    args = build_faults_parser().parse_args(argv)
+    try:
+        checker = CrashConsistencyChecker(
+            seed=args.seed,
+            threads=args.threads,
+            intervals=args.intervals,
+            writes_per_interval=args.writes,
+            transient_rate=args.transient_rate,
+        )
+    except ValueError as exc:
+        print(f"repro faults sweep: error: {exc}", file=sys.stderr)
+        return 2
+    report = checker.run()
+    order: list[str] = []
+    per_point: dict[str, dict[str, int]] = {}
+    for case in report.cases:
+        if case.point not in per_point:
+            per_point[case.point] = defaultdict(int)
+            order.append(case.point)
+        per_point[case.point][case.outcome] += 1
+    print(render_table(
+        f"Crash-consistency sweep (seed {report.seed}, "
+        f"{report.threads} threads, {report.intervals} intervals)",
+        ["crash point", "cases", "rolled fwd", "previous", "fresh", "violations"],
+        [
+            [
+                point,
+                sum(per_point[point].values()),
+                per_point[point]["rolled_forward"],
+                per_point[point]["previous"],
+                per_point[point]["fresh_start"],
+                per_point[point]["violation"],
+            ]
+            for point in order
+        ],
+    ))
+    print(
+        f"\n{len(report.cases)} cases over {report.points_swept} crash points: "
+        f"{len(report.violations)} invariant violation(s)"
+    )
+    for case in report.violations:
+        print(
+            f"  VIOLATION at {case.point}#{case.occurrence} "
+            f"(interval {case.crashed_in_interval}): {case.detail}"
+        )
+
+    failed = not report.ok
+    if not args.no_demos:
+        retry = transient_retry_demo(seed=args.seed, threads=args.threads)
+        print(render_table(
+            "Transient NVM write errors: retry with backoff, then recover",
+            ["checkpoints", "write retries", "resumed from", "state verified"],
+            [[retry.checkpoints, retry.retries, retry.resumed_from,
+              "yes" if retry.state_ok else "NO"]],
+        ))
+        torn = torn_metadata_demo(seed=args.seed, threads=args.threads)
+        print(render_table(
+            "Torn metadata record: CRC detection, fall back to previous",
+            ["resumed from", "staged discarded", "tear detected", "state verified"],
+            [[torn.resumed_from, torn.discarded_staged,
+              "yes" if torn.detected else "NO",
+              "yes" if torn.state_ok else "NO"]],
+        ))
+        failed = failed or not retry.state_ok or not torn.state_ok or not torn.detected
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate figures from 'Prosper: Program Stack "
-        "Persistence in Hybrid Memory Systems' (HPCA 2024).",
+        "Persistence in Hybrid Memory Systems' (HPCA 2024).  "
+        "Fault injection lives under the 'faults' subcommand "
+        "(repro faults sweep --help).",
     )
     parser.add_argument(
         "command",
@@ -300,10 +408,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] == "faults":
+        return _faults_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in sorted(COMMANDS):
             print(name)
+        print("faults (subcommands: sweep)")
         return 0
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
     for name in names:

@@ -9,23 +9,43 @@ At the end of each checkpoint interval the OS:
    lowest SP observed in the interval — coalescing contiguous set bits into
    runs;
 3. copies each dirty run from DRAM into a staging buffer in NVM (step one
-   of the crash-consistent commit);
+   of the crash-consistent commit), recording a CRC32 alongside each
+   staged run;
 4. applies the staged data onto the per-thread persistent stack in NVM
    (step two), then marks the checkpoint committed;
 5. clears the consumed bitmap words so the next interval starts clean.
 
 Crash consistency: a failure during (3) leaves the previous committed
-checkpoint intact; a failure during (4) is recovered by replaying the fully
-staged buffer (it is written completely before the commit record flips).
-The recovery path lives in :mod:`repro.kernel.restore`.
+checkpoint intact — the staging buffer records how many runs were planned,
+so recovery can tell a *complete* staging (safe to roll forward) from a
+partial one (discard); a failure during (4) is recovered by replaying the
+fully staged buffer.  The per-run checksums let recovery detect staged
+data corrupted by a torn NVM write and discard it instead of trusting
+completeness alone.  The recovery path lives in
+:mod:`repro.kernel.restore`.
+
+Fault injection: every step is a named crash point (see
+:mod:`repro.faults.injector`); an armed :class:`FaultInjector` threaded
+through here raises :class:`CrashInjected` mid-protocol, leaving the
+staging state exactly as durably written so far.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.core.bitmap import DirtyBitmap, DirtyRun
 from repro.core.tracker import ProsperTracker
+from repro.faults.injector import (
+    BITMAP_CLEAR,
+    PERSIST_BARRIER,
+    STAGE_BEGIN,
+    STAGE_COMPLETE,
+    FaultInjector,
+    stage_run_copy,
+)
 from repro.memory.hierarchy import MemoryHierarchy
 
 #: Cycles for the OS to stream-inspect one 64-byte cache line of bitmap
@@ -40,6 +60,38 @@ CHECKPOINT_FIXED_CYCLES = 400
 #: Per-run software overhead of setting up one copy (pointer math, loop).
 PER_RUN_SETUP_CYCLES = 30
 
+#: XOR mask applied to a stored CRC to model a torn write corrupting a
+#: staged record whose content is not byte-tracked.
+TORN_CRC_MASK = 0xA5A5_A5A5
+
+#: Reads a run's DRAM contents as (word address, value) pairs.
+ContentReader = Callable[[DirtyRun], Iterable[tuple[int, int]]]
+#: Applies a committed staged run to the persistent NVM contents.
+ContentWriter = Callable[["StagedRun"], None]
+
+
+def staged_run_crc(run: DirtyRun, payload: tuple[tuple[int, int], ...]) -> int:
+    """CRC32 over a staged run's descriptor and (optional) byte contents."""
+    return zlib.crc32(repr((run.start, run.end, payload)).encode())
+
+
+@dataclass
+class StagedRun:
+    """One dirty run written to the NVM staging buffer.
+
+    ``crc`` is stored alongside the staged data; recovery recomputes it
+    over ``payload`` (the staged words, when the simulation tracks actual
+    contents) and discards the run on mismatch — which is how torn NVM
+    writes are detected instead of silently rolled forward.
+    """
+
+    run: DirtyRun
+    crc: int
+    payload: tuple[tuple[int, int], ...] = ()
+
+    def verify(self) -> bool:
+        return self.crc == staged_run_crc(self.run, self.payload)
+
 
 @dataclass
 class CheckpointResult:
@@ -51,19 +103,52 @@ class CheckpointResult:
     words_inspected: int
     cycles: int
     committed: bool = True
+    #: NVM write retries taken by the reliable-write path (media errors);
+    #: their backoff cycles are already included in ``cycles``.
+    retries: int = 0
+
+
+@dataclass
+class StageResult:
+    """Outcome of the staging half of a checkpoint (step one)."""
+
+    cycles: int
+    copied_bytes: int
+    runs: int
+    words_inspected: int
+    retries: int = 0
 
 
 @dataclass
 class StagedCheckpoint:
     """NVM staging-buffer contents awaiting (or after) commit.
 
-    ``runs`` carries the byte ranges staged; the recovery code uses it to
-    replay a checkpoint whose commit was interrupted.
+    ``expected_runs`` is written first (part of the staging descriptor), so
+    recovery can distinguish a complete staging — every planned run made it
+    to NVM — from one interrupted mid-copy.  Only a complete, checksum-clean
+    staging may be rolled forward.
     """
 
     interval_index: int
-    runs: list[DirtyRun] = field(default_factory=list)
+    expected_runs: int = 0
+    staged_runs: list[StagedRun] = field(default_factory=list)
     committed: bool = False
+    #: Walk bound saved for the deferred bitmap clear at commit time.
+    active_low: int | None = None
+
+    @property
+    def runs(self) -> list[DirtyRun]:
+        """Byte ranges staged so far (compatibility accessor)."""
+        return [staged.run for staged in self.staged_runs]
+
+    @property
+    def complete(self) -> bool:
+        """True when every planned run reached the staging buffer."""
+        return len(self.staged_runs) == self.expected_runs
+
+    def verify(self) -> bool:
+        """Complete *and* every staged run passes its checksum."""
+        return self.complete and all(s.verify() for s in self.staged_runs)
 
 
 class ProsperCheckpointEngine:
@@ -75,6 +160,9 @@ class ProsperCheckpointEngine:
         bitmap: DirtyBitmap,
         hierarchy: MemoryHierarchy,
         fixed_scale: float = 1.0,
+        injector: FaultInjector | None = None,
+        content_reader: ContentReader | None = None,
+        content_writer: ContentWriter | None = None,
     ) -> None:
         self.tracker = tracker
         self.bitmap = bitmap
@@ -82,6 +170,9 @@ class ProsperCheckpointEngine:
         #: Scale for fixed per-event costs under a compressed clock
         #: (see repro.experiments.runner); 1.0 = real latencies.
         self.fixed_scale = fixed_scale
+        self.injector = injector
+        self.content_reader = content_reader
+        self.content_writer = content_writer
         self.results: list[CheckpointResult] = []
         #: The persistent (committed) image state, for recovery tests: maps
         #: nothing concrete — we record the last committed interval and the
@@ -89,22 +180,27 @@ class ProsperCheckpointEngine:
         self.last_committed_interval: int | None = None
         self.staged: StagedCheckpoint | None = None
 
-    def checkpoint(
+    def _reached(self, point: str) -> None:
+        if self.injector is not None:
+            self.injector.reached(point)
+
+    # ------------------------------------------------------------------ #
+    # Step one: stage dirty runs into the NVM staging buffer
+    # ------------------------------------------------------------------ #
+
+    def stage(
         self,
         interval_index: int,
         active_low_hint: int | None = None,
         final_sp: int | None = None,
-        crash_after_stage: bool = False,
-    ) -> CheckpointResult:
-        """Run one end-of-interval checkpoint; returns size/time accounting.
+    ) -> StageResult:
+        """Quiesce, walk the bitmap, and stage every dirty run into NVM.
 
         *active_low_hint* is the lowest SP the OS observed during the
         interval (combined with the tracker's lowest dirty address, it
         bounds the bitmap walk).  *final_sp* is the SP at the commit point:
         the checkpoint is **SP-aware** (Section II-A) — dirty granules
         below it belong to popped frames and are dropped, not copied.
-        Setting *crash_after_stage* simulates a power failure between
-        staging and commit, leaving :attr:`staged` for the recovery path.
         """
         cycles = round(CHECKPOINT_FIXED_CYCLES * self.fixed_scale)
 
@@ -124,66 +220,171 @@ class ProsperCheckpointEngine:
         if final_sp is not None and final_sp > self.bitmap.region.start:
             # SP awareness: clip every run to the live region [final_sp,
             # top).  Bits below final_sp belong to dead frames; the walk
-            # still clears them (below) so they cannot leak into a later
-            # checkpoint.
+            # still clears them (at commit) so they cannot leak into a
+            # later checkpoint.
             runs = [
                 DirtyRun(max(run.start, final_sp), run.end)
                 for run in runs
                 if run.end > final_sp
             ]
 
-        # Step 3 — copy dirty runs into the NVM staging buffer.  The copies
-        # are pipelined: one fixed device latency for the batch, plus
-        # bandwidth-limited streaming of the bytes and a small software
-        # setup cost per run.
-        copied = sum(run.size for run in runs)
-        staged = StagedCheckpoint(interval_index, runs)
-        cycles += len(runs) * PER_RUN_SETUP_CYCLES
-        if copied:
-            cycles += self.hierarchy.copy_dram_to_nvm(copied, self.fixed_scale)
+        # Step 3 — copy dirty runs into the NVM staging buffer.  The
+        # staging descriptor (run count) lands first; each run is then
+        # copied with its CRC.  The copies are pipelined: one fixed device
+        # latency for the batch, plus bandwidth-limited streaming of the
+        # bytes and a small software setup cost per run.
+        self._reached(STAGE_BEGIN)
+        staged = StagedCheckpoint(
+            interval_index, expected_runs=len(runs), active_low=active_low
+        )
         self.staged = staged
-
-        if crash_after_stage:
-            result = CheckpointResult(
-                interval_index, copied, len(runs), words, cycles, committed=False
+        cycles += len(runs) * PER_RUN_SETUP_CYCLES
+        copied = 0
+        for index, run in enumerate(runs):
+            self._reached(stage_run_copy(index))
+            payload = (
+                tuple(self.content_reader(run)) if self.content_reader else ()
             )
-            self.results.append(result)
-            return result
+            staged.staged_runs.append(
+                StagedRun(run, staged_run_crc(run, payload), payload)
+            )
+            copied += run.size
+        retries = 0
+        if copied:
+            copy = self.hierarchy.reliable_copy_dram_to_nvm(
+                copied, self.fixed_scale
+            )
+            cycles += copy.cycles
+            retries = copy.retries
+            if copy.torn and staged.staged_runs:
+                # The write in flight when the media tore was the last one;
+                # corrupt its staged record so only the CRC can tell.
+                self._tear(staged.staged_runs[-1])
+        self._reached(STAGE_COMPLETE)
+        return StageResult(cycles, copied, len(runs), words, retries)
 
-        # Step 4 — apply staging buffer onto the persistent stack and commit.
-        cycles += self._commit(staged)
+    @staticmethod
+    def _tear(staged_run: StagedRun) -> None:
+        """Silently corrupt a staged run, as a torn NVM write would."""
+        if staged_run.payload:
+            address, value = staged_run.payload[-1]
+            staged_run.payload = staged_run.payload[:-1] + (
+                (address, value ^ (TORN_CRC_MASK << 16 | TORN_CRC_MASK)),
+            )
+        else:
+            staged_run.crc ^= TORN_CRC_MASK
 
-        # Step 5 — clear consumed bitmap words.
-        cleared = self.bitmap.clear(active_low)
-        cycles += cleared * CLEAR_CYCLES_PER_WORD
-        self.tracker.begin_interval()
+    # ------------------------------------------------------------------ #
+    # Step two: commit the staged buffer onto the persistent stack
+    # ------------------------------------------------------------------ #
 
-        result = CheckpointResult(interval_index, copied, len(runs), words, cycles)
-        self.results.append(result)
-        return result
+    def commit_staged(self) -> int:
+        """Apply the current staging buffer (no-op when already committed)."""
+        if self.staged is None or self.staged.committed:
+            return 0
+        return self._commit(self.staged)
 
     def _commit(self, staged: StagedCheckpoint) -> int:
         """Apply the staged runs to the per-thread persistent stack in NVM."""
         total = sum(run.size for run in staged.runs)
         cycles = 0
         if total:
-            cycles += self.hierarchy.copy_nvm_to_nvm(total, self.fixed_scale)
+            copy = self.hierarchy.reliable_copy_nvm_to_nvm(
+                total, self.fixed_scale
+            )
+            cycles += copy.cycles
+        self._reached(PERSIST_BARRIER)
         cycles += self.hierarchy.persist_barrier()
+        if self.content_writer is not None:
+            for staged_run in staged.staged_runs:
+                self.content_writer(staged_run)
         staged.committed = True
         self.last_committed_interval = staged.interval_index
         return cycles
 
+    def finish_interval(self) -> int:
+        """Clear consumed bitmap words and start the next interval."""
+        self._reached(BITMAP_CLEAR)
+        active_low = self.staged.active_low if self.staged is not None else None
+        cleared = self.bitmap.clear(active_low)
+        self.tracker.begin_interval()
+        return cleared * CLEAR_CYCLES_PER_WORD
+
+    # ------------------------------------------------------------------ #
+    # Composite checkpoint (stage + commit + clear)
+    # ------------------------------------------------------------------ #
+
+    def checkpoint(
+        self,
+        interval_index: int,
+        active_low_hint: int | None = None,
+        final_sp: int | None = None,
+        crash_after_stage: bool = False,
+    ) -> CheckpointResult:
+        """Run one end-of-interval checkpoint; returns size/time accounting.
+
+        Setting *crash_after_stage* simulates a power failure between
+        staging and commit, leaving :attr:`staged` for the recovery path.
+        (It is the legacy single-crash-point shim; arbitrary crash points
+        are injected via a :class:`FaultInjector`.)
+        """
+        stage = self.stage(interval_index, active_low_hint, final_sp)
+        cycles = stage.cycles
+
+        if crash_after_stage:
+            result = CheckpointResult(
+                interval_index,
+                stage.copied_bytes,
+                stage.runs,
+                stage.words_inspected,
+                cycles,
+                committed=False,
+                retries=stage.retries,
+            )
+            self.results.append(result)
+            return result
+
+        # Step 4 — apply staging buffer onto the persistent stack and commit.
+        cycles += self._commit(self.staged)
+
+        # Step 5 — clear consumed bitmap words.
+        cycles += self.finish_interval()
+
+        result = CheckpointResult(
+            interval_index,
+            stage.copied_bytes,
+            stage.runs,
+            stage.words_inspected,
+            cycles,
+            retries=stage.retries,
+        )
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+
     def recover_staged(self) -> int | None:
         """Complete an interrupted commit from the staging buffer.
 
-        Returns the interval index recovered to, or None when the staging
-        buffer was empty/committed (recovery falls back to the previous
-        committed checkpoint).
+        Rolls forward only when the staging buffer is complete and every
+        staged run passes its checksum — a partial or torn staging is
+        discarded (the previous committed checkpoint wins).  Returns the
+        interval index recovered to, or None when nothing was ever
+        committed.
         """
         if self.staged is None or self.staged.committed:
             return self.last_committed_interval
+        if not self.staged.verify():
+            self.discard_staged()
+            return self.last_committed_interval
         self._commit(self.staged)
         return self.last_committed_interval
+
+    def discard_staged(self) -> None:
+        """Drop an incomplete or corrupt staging buffer."""
+        self.staged = None
 
     def _active_low(self, hint: int | None) -> int | None:
         tracker_low = self.tracker.min_dirty_address

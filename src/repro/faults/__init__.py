@@ -1,0 +1,57 @@
+"""Fault injection and crash-consistency verification.
+
+Three cooperating layers (see ``docs/FAULTS.md``):
+
+* :mod:`repro.faults.injector` — named crash points threaded through the
+  checkpoint pipeline, armed deterministically per (point, occurrence);
+* :mod:`repro.faults.nvm_errors` — a seeded NVM media error model
+  (transient failures, torn writes, sticky bad blocks) consulted by the
+  device's reliable-write path;
+* :mod:`repro.faults.sweep` — the crash-consistency sweep harness that
+  crashes at every enumerated point and asserts the recovery invariant.
+
+``sweep`` is intentionally *not* imported here: it pulls in the kernel
+layer, which in turn reaches back down to :mod:`repro.memory.devices` —
+a module that imports this package for the error model.  Import it as
+``repro.faults.sweep`` directly.
+"""
+
+from repro.faults.injector import (
+    BITMAP_CLEAR,
+    COMMIT_FLAG_WRITE,
+    CRASH_POINT_FAMILIES,
+    METADATA_WRITE,
+    PERSIST_BARRIER,
+    STAGE_BEGIN,
+    STAGE_COMPLETE,
+    CrashInjected,
+    FaultInjector,
+    stage_run_copy,
+)
+from repro.faults.nvm_errors import (
+    WRITE_BAD_BLOCK,
+    WRITE_OK,
+    WRITE_TORN,
+    WRITE_TRANSIENT,
+    NvmErrorModel,
+    NvmMediaError,
+)
+
+__all__ = [
+    "BITMAP_CLEAR",
+    "COMMIT_FLAG_WRITE",
+    "CRASH_POINT_FAMILIES",
+    "METADATA_WRITE",
+    "PERSIST_BARRIER",
+    "STAGE_BEGIN",
+    "STAGE_COMPLETE",
+    "CrashInjected",
+    "FaultInjector",
+    "stage_run_copy",
+    "WRITE_BAD_BLOCK",
+    "WRITE_OK",
+    "WRITE_TORN",
+    "WRITE_TRANSIENT",
+    "NvmErrorModel",
+    "NvmMediaError",
+]

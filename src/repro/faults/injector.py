@@ -1,0 +1,140 @@
+"""Deterministic crash-point injection for the checkpoint pipeline.
+
+The paper validates Prosper's crash consistency by killing gem5 at a few
+hand-picked moments.  This module generalizes that into systematic fault
+injection: every step of the two-step staging/commit protocol is a *named
+crash point*, and a :class:`FaultInjector` threaded through the pipeline
+(`core/checkpoint.py`, `kernel/checkpoint_mgr.py`) can be armed to "lose
+power" at the N-th occurrence of any point.  Arming is explicit and
+per-(point, occurrence), so every run is exactly reproducible.
+
+Crash points, in protocol order for one process checkpoint::
+
+    metadata_write        before the metadata record (registers, layout) lands
+    stage_begin           per thread, before its staging buffer is created
+    stage_run_copy[i]     per thread, before the i-th dirty run is staged
+    stage_complete        per thread, after its staging buffer is complete
+    commit_flag_write     before the process commit record flips
+    persist_barrier       per thread, inside the staged->persistent apply
+    bitmap_clear          per thread, before its consumed bitmap words clear
+
+A crash fires by raising :class:`CrashInjected`; the durable ("NVM") state
+at that moment — checkpoint records, staging buffers — is left exactly as
+written so far, and the harness then drops volatile state and drives
+recovery.  An un-armed injector only records which points fired (the probe
+pass :class:`repro.faults.sweep.CrashConsistencyChecker` uses to enumerate
+the sweep).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+#: Named crash points of the two-step staging/commit protocol.
+STAGE_BEGIN = "stage_begin"
+STAGE_COMPLETE = "stage_complete"
+METADATA_WRITE = "metadata_write"
+COMMIT_FLAG_WRITE = "commit_flag_write"
+BITMAP_CLEAR = "bitmap_clear"
+PERSIST_BARRIER = "persist_barrier"
+
+
+def stage_run_copy(index: int) -> str:
+    """Crash-point name for staging the *index*-th dirty run of a thread."""
+    return f"stage_run_copy[{index}]"
+
+
+#: The crash-point families, for documentation and CLI listings.
+CRASH_POINT_FAMILIES = (
+    METADATA_WRITE,
+    STAGE_BEGIN,
+    "stage_run_copy[i]",
+    STAGE_COMPLETE,
+    COMMIT_FLAG_WRITE,
+    PERSIST_BARRIER,
+    BITMAP_CLEAR,
+)
+
+
+class CrashInjected(Exception):
+    """Raised at an armed crash point: the simulated machine lost power.
+
+    Durable state written before the crash point survives; the handler is
+    expected to drop volatile state (:meth:`CrashSimulator.crash`) and then
+    drive recovery.
+    """
+
+    def __init__(self, point: str, occurrence: int) -> None:
+        super().__init__(f"injected crash at {point} (occurrence {occurrence})")
+        self.point = point
+        self.occurrence = occurrence
+
+
+class FaultInjector:
+    """Seeded, deterministic fault plan for one simulated run.
+
+    The injector owns two independent fault dimensions:
+
+    * a **crash plan** — at most one (point, occurrence) pair armed via
+      :meth:`arm`; the matching :meth:`reached` call raises
+      :class:`CrashInjected`;
+    * a **torn-metadata plan** — checkpoint sequence numbers whose metadata
+      record should be silently corrupted (a torn cache-line write at the
+      moment of power loss), registered via :meth:`tear_metadata_at` and
+      detected only by the CRC check at recovery.
+
+    *seed* does not drive the injector itself (the plan is explicit) but is
+    carried so harnesses can derive matching NVM error models from it.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.armed_point: str | None = None
+        self.armed_occurrence: int = 0
+        #: Every point fired, in order (the probe pass reads this).
+        self.fired: list[str] = []
+        self._counts: Counter[str] = Counter()
+        self._torn_metadata: set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # Crash plan
+    # ------------------------------------------------------------------ #
+
+    def arm(self, point: str, occurrence: int = 0) -> None:
+        """Crash at the *occurrence*-th firing of *point* (0-based)."""
+        if occurrence < 0:
+            raise ValueError("occurrence must be non-negative")
+        self.armed_point = point
+        self.armed_occurrence = occurrence
+
+    def disarm(self) -> None:
+        """Clear the crash plan (recovery runs with the injector disarmed)."""
+        self.armed_point = None
+
+    def reached(self, point: str) -> None:
+        """Record that the pipeline reached *point*; crash when armed for it."""
+        occurrence = self._counts[point]
+        self._counts[point] += 1
+        self.fired.append(point)
+        if point == self.armed_point and occurrence == self.armed_occurrence:
+            raise CrashInjected(point, occurrence)
+
+    def occurrences(self) -> Counter[str]:
+        """Copy of per-point firing counts so far."""
+        return Counter(self._counts)
+
+    def reset(self) -> None:
+        """Forget fired history and counts (plans stay armed)."""
+        self.fired.clear()
+        self._counts.clear()
+
+    # ------------------------------------------------------------------ #
+    # Torn-metadata plan
+    # ------------------------------------------------------------------ #
+
+    def tear_metadata_at(self, *sequences: int) -> None:
+        """Corrupt the metadata record of the given checkpoint sequences."""
+        self._torn_metadata.update(sequences)
+
+    def should_tear_metadata(self, sequence: int) -> bool:
+        return sequence in self._torn_metadata

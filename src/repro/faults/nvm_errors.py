@@ -1,0 +1,158 @@
+"""NVM media error model: transient write failures, torn writes, bad blocks.
+
+PCM-like media fails in ways DRAM does not, and resilient checkpoint
+systems treat that as first-class (cf. *High Performance Data Persistence
+in NVM for Resilient HPC*): writes can fail transiently (resistance drift,
+program-verify misses — a retry succeeds), a cache-line write interrupted
+by power loss can be **torn** (the device reports success but the stored
+bits are garbage, detectable only by a checksum on read-back), and cells
+wear out into **sticky bad blocks** that must be remapped onto spares.
+
+:class:`NvmErrorModel` is a seeded, deterministic oracle the
+:class:`repro.memory.devices.NvmDevice` consults on each checkpoint write.
+The device's reliable-write path retries transient failures with bounded
+exponential backoff, remaps sticky bad blocks onto a finite spare pool
+(graceful degradation), and surfaces :class:`NvmMediaError` when either
+budget is exhausted.  Torn writes are *silent* here — detection belongs to
+the CRC32 checksums the checkpoint layer stores alongside staged runs and
+metadata records.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Write outcome kinds drawn by the model.
+WRITE_OK = "ok"
+WRITE_TRANSIENT = "transient"
+WRITE_TORN = "torn"
+WRITE_BAD_BLOCK = "bad_block"
+
+
+class NvmMediaError(RuntimeError):
+    """Unrecoverable NVM media failure.
+
+    Raised when a write's retry budget is spent on persistent transient
+    failures, or when a sticky bad block cannot be remapped because the
+    spare-block pool is exhausted.
+    """
+
+
+class NvmErrorModel:
+    """Deterministic, seed-driven fault oracle for one NVM device.
+
+    Parameters
+    ----------
+    seed:
+        Seeds the internal RNG; identical seeds reproduce identical fault
+        sequences for identical write streams.
+    transient_write_rate / torn_write_rate / bad_block_rate:
+        Per-write probabilities of each failure class (disjoint draws).
+    device_blocks:
+        Pseudo-block address space writes are attributed to; small values
+        make sticky bad blocks recur quickly.
+    spare_blocks:
+        Spare pool available for bad-block remapping.
+    max_retries:
+        Retry budget per write for transient failures and remapped blocks.
+    backoff_base_cycles:
+        First retry waits this long; each further retry doubles it.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_write_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        bad_block_rate: float = 0.0,
+        device_blocks: int = 1024,
+        spare_blocks: int = 8,
+        max_retries: int = 4,
+        backoff_base_cycles: int = 64,
+    ) -> None:
+        for name, rate in (
+            ("transient_write_rate", transient_write_rate),
+            ("torn_write_rate", torn_write_rate),
+            ("bad_block_rate", bad_block_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if transient_write_rate + torn_write_rate + bad_block_rate > 1.0:
+            raise ValueError("failure rates must sum to at most 1")
+        self.seed = seed
+        self.transient_write_rate = transient_write_rate
+        self.torn_write_rate = torn_write_rate
+        self.bad_block_rate = bad_block_rate
+        self.device_blocks = device_blocks
+        self.spare_blocks = spare_blocks
+        self.max_retries = max_retries
+        self.backoff_base_cycles = backoff_base_cycles
+        self._rng = random.Random(seed)
+        #: Blocks that have gone sticky-bad (fail every write until remapped).
+        self.bad_blocks: set[int] = set()
+        #: bad block -> spare block it was remapped onto.
+        self.remap_table: dict[int, int] = {}
+        self._spares_used = 0
+
+    # ------------------------------------------------------------------ #
+    # Fault draws
+    # ------------------------------------------------------------------ #
+
+    def draw_write(self) -> tuple[str, int | None]:
+        """Classify one write; returns ``(outcome, block)``.
+
+        *block* is only meaningful for :data:`WRITE_BAD_BLOCK` — the sticky
+        block the write landed on, which the caller must remap (or fail).
+        """
+        block = self._rng.randrange(self.device_blocks)
+        if block in self.bad_blocks:
+            if block not in self.remap_table:
+                # Sticky: the block fails every write until remapped.
+                return WRITE_BAD_BLOCK, block
+            block = self.remap_table[block]  # healthy spare
+        draw = self._rng.random()
+        if draw < self.bad_block_rate:
+            self.bad_blocks.add(block)
+            return WRITE_BAD_BLOCK, block
+        draw -= self.bad_block_rate
+        if draw < self.transient_write_rate:
+            return WRITE_TRANSIENT, None
+        draw -= self.transient_write_rate
+        if draw < self.torn_write_rate:
+            return WRITE_TORN, None
+        return WRITE_OK, None
+
+    # ------------------------------------------------------------------ #
+    # Bad-block management
+    # ------------------------------------------------------------------ #
+
+    def mark_bad(self, block: int) -> None:
+        """Force *block* sticky-bad (used by tests and wear-out studies)."""
+        self.bad_blocks.add(block)
+
+    def remap(self, block: int) -> int:
+        """Remap a sticky bad *block* onto a spare; returns the spare id.
+
+        Raises :class:`NvmMediaError` once the spare pool is exhausted —
+        the device has degraded past the point of graceful remapping.
+        """
+        existing = self.remap_table.get(block)
+        if existing is not None:
+            return existing
+        if self._spares_used >= self.spare_blocks:
+            raise NvmMediaError(
+                f"bad-block remap failed: all {self.spare_blocks} spare "
+                f"blocks consumed (block {block})"
+            )
+        self._spares_used += 1
+        spare = self.device_blocks + self._spares_used
+        self.remap_table[block] = spare
+        return spare
+
+    @property
+    def spares_remaining(self) -> int:
+        return self.spare_blocks - self._spares_used
+
+    def backoff_cycles(self, attempt: int) -> int:
+        """Exponential backoff before retry *attempt* (1-based)."""
+        return self.backoff_base_cycles * (2 ** (attempt - 1))

@@ -8,9 +8,13 @@ from its last checkpoint.  The equivalent here:
   DRAM stack contents, tracker state, un-flushed cache lines — and keeps
   only what lives in NVM: committed checkpoints and, possibly, a staged but
   uncommitted one.
-* :func:`recover` replays the two-step commit rule: a fully staged
-  checkpoint is rolled forward (its staging buffer is complete), anything
-  less is discarded and the previous committed checkpoint wins.
+* :func:`recover` replays the two-step commit rule: a checkpoint whose
+  staging is *actually* complete in NVM — every thread staged every planned
+  run, every staged run and the metadata record pass their checksums — is
+  rolled forward; anything less (a partial staging, a torn record) is
+  discarded and the previous committed checkpoint wins.  Restoration covers
+  both register files and the persistent stack *contents*, copied back into
+  each thread's volatile DRAM image.
 
 The recovery report states which checkpoint the process resumed from and
 what state was restored, which the integration tests assert on.
@@ -22,6 +26,7 @@ from dataclasses import dataclass
 
 from repro.kernel.checkpoint_mgr import CheckpointManager, ProcessCheckpoint
 from repro.kernel.process import Process
+from repro.memory.image import ByteImage
 
 
 @dataclass
@@ -40,16 +45,28 @@ class RecoveryReport:
 class CrashSimulator:
     """Simulates a power failure over a checkpointed process."""
 
-    def __init__(self, process: Process, manager: CheckpointManager) -> None:
+    def __init__(
+        self,
+        process: Process,
+        manager: CheckpointManager,
+        dram_images: dict[int, ByteImage] | None = None,
+        nvm_images: dict[int, ByteImage] | None = None,
+    ) -> None:
         self.process = process
         self.manager = manager
+        #: Actual stack contents, when the simulation tracks them: the DRAM
+        #: images die with a crash, the NVM images survive and recovery
+        #: copies them back.
+        self.dram_images = dram_images if dram_images is not None else manager.dram_images
+        self.nvm_images = nvm_images if nvm_images is not None else manager.nvm_images
         self.crashed = False
 
     def crash(self) -> None:
         """Drop all volatile state.
 
-        Register files are zeroed and dirty bitmaps cleared — they lived in
-        DRAM/core.  NVM-resident checkpoint records in the manager survive.
+        Register files are zeroed, dirty bitmaps cleared, and the DRAM stack
+        images emptied — they lived in DRAM/core.  NVM-resident checkpoint
+        records in the manager (and the persistent NVM images) survive.
         """
         self.crashed = True
         for thread in self.process.iter_threads():
@@ -59,25 +76,31 @@ class CrashSimulator:
             if thread.bitmap is not None:
                 thread.bitmap.clear()
             thread.tracker_state = None
+        if self.dram_images is not None:
+            for image in self.dram_images.values():
+                image.clear()
 
     def recover(self) -> RecoveryReport:
         """Restart after a crash and resume from the best checkpoint."""
         if not self.crashed:
             raise RuntimeError("recover() called without a crash")
 
-        # Roll forward any checkpoint that was fully staged: its staging
-        # buffer is complete in NVM, so the commit can be finished.
+        # Roll forward any checkpoint that was fully staged — all-or-nothing
+        # across the process, gated on the staged checksums and the owning
+        # record's metadata CRC (see complete_staged_commits).
         rolled = self.manager.complete_staged_commits() > 0
         candidate: ProcessCheckpoint | None = None
         for record in reversed(self.manager.checkpoints):
             if record.committed:
                 candidate = record
                 break
-            if record.threads and all(
-                snap.dirty_runs is not None for snap in record.threads
-            ) and rolled:
-                # The staged data was applied during complete_staged_commits;
-                # promote the record.
+            if record.verify_metadata() and self.manager.staging_complete_for(
+                record
+            ):
+                # Every thread's staging for this record is complete in NVM
+                # and has been applied: finishing the commit is safe.  A
+                # record that fails either test is skipped — the previous
+                # committed checkpoint wins.
                 record.committed = True
                 candidate = record
                 break
@@ -91,6 +114,14 @@ class CrashSimulator:
             if thread is None:
                 continue
             thread.registers.restore(snap.registers)
+            # The persistent stack *contents* come back too: repopulate the
+            # thread's volatile DRAM image from the NVM image the committed
+            # checkpoints built up.
+            if self.dram_images is not None and self.nvm_images is not None:
+                source = self.nvm_images.get(snap.tid)
+                target = self.dram_images.get(snap.tid)
+                if source is not None and target is not None:
+                    target.copy_range_from(source, thread.stack)
             restored += 1
         self.crashed = False
         return RecoveryReport(candidate.sequence, rolled, restored)

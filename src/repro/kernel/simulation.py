@@ -19,11 +19,11 @@ from dataclasses import dataclass, field
 from repro.config import SystemConfig, setup_i
 from repro.core.tracker import ProsperTracker
 from repro.cpu.ops import Op, OpKind
+from repro.faults.injector import FaultInjector
 from repro.kernel.checkpoint_mgr import CheckpointManager
 from repro.kernel.process import Process, Thread
 from repro.kernel.restore import CrashSimulator, RecoveryReport
 from repro.kernel.scheduler import Scheduler
-from repro.memory.address import AddressRange
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.image import ByteImage
 
@@ -50,6 +50,7 @@ class MultiThreadSimulation:
         quantum_ops: int = 500,
         checkpoint_every_quanta: int = 10,
         config: SystemConfig | None = None,
+        injector: FaultInjector | None = None,
     ) -> None:
         if not thread_ops:
             raise ValueError("need at least one thread")
@@ -60,17 +61,30 @@ class MultiThreadSimulation:
         self.hierarchy = MemoryHierarchy(self.config)
         self.tracker = ProsperTracker(self.process.tracker_config)
         self.scheduler = Scheduler(self.tracker)
-        self.manager = CheckpointManager(self.process, self.hierarchy, self.tracker)
-        self.crash_sim = CrashSimulator(self.process, self.manager)
+        #: Actual stack contents: volatile DRAM image + persistent NVM
+        #: image per thread, used to validate data integrity across crashes.
+        self.dram_images: dict[int, ByteImage] = {}
+        self.nvm_images: dict[int, ByteImage] = {}
+        self.injector = injector
+        self.manager = CheckpointManager(
+            self.process,
+            self.hierarchy,
+            self.tracker,
+            injector=injector,
+            dram_images=self.dram_images,
+            nvm_images=self.nvm_images,
+        )
+        self.crash_sim = CrashSimulator(
+            self.process,
+            self.manager,
+            dram_images=self.dram_images,
+            nvm_images=self.nvm_images,
+        )
         self.quantum_ops = quantum_ops
         self.checkpoint_every_quanta = checkpoint_every_quanta
         self.stats = SimulationStats()
 
         self._streams: list[tuple[Thread, list[Op], int]] = []
-        #: Actual stack contents: volatile DRAM image + persistent NVM
-        #: image per thread, used to validate data integrity across crashes.
-        self.dram_images: dict[int, ByteImage] = {}
-        self.nvm_images: dict[int, ByteImage] = {}
         for ops in thread_ops:
             thread = self.process.spawn_thread(stack_bytes, persistent=True)
             self._streams.append((thread, ops, 0))
@@ -171,14 +185,10 @@ class MultiThreadSimulation:
         if current is not None and current.persistent:
             self.tracker.request_flush()
             self.tracker.poll_quiescent()
-        record, cycles = self.manager.checkpoint_process()
-        # Apply the dirty runs to each thread's persistent (NVM) image —
-        # the data that survives a power failure.
-        for snap in record.threads:
-            nvm = self.nvm_images[snap.tid]
-            dram = self.dram_images[snap.tid]
-            for run in snap.dirty_runs:
-                nvm.copy_range_from(dram, AddressRange(run.start, run.end))
+        # The manager stages each thread's dirty runs (with real contents,
+        # checksummed) and applies them to the persistent NVM images at
+        # commit — the data that survives a power failure.
+        _record, cycles = self.manager.checkpoint_process()
         self.stats.checkpoints += 1
         self.stats.checkpoint_cycles += cycles
         self.stats.cycles += cycles
@@ -190,20 +200,12 @@ class MultiThreadSimulation:
     def crash(self) -> None:
         """Power failure: volatile state (registers, DRAM images) vanishes."""
         self.crash_sim.crash()
-        for image in self.dram_images.values():
-            image.clear()
 
     def recover(self) -> RecoveryReport:
         """Restart: registers restore from the last committed checkpoint and
         each thread's DRAM stack image is repopulated from its persistent
-        NVM image."""
-        report = self.crash_sim.recover()
-        if report.recovered:
-            for thread in self.process.iter_threads():
-                self.dram_images[thread.tid].copy_range_from(
-                    self.nvm_images[thread.tid], thread.stack
-                )
-        return report
+        NVM image (both handled by the crash simulator)."""
+        return self.crash_sim.recover()
 
     def verify_recovered_contents(self) -> bool:
         """Check every thread's restored stack equals its persistent image."""

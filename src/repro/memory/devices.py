@@ -19,6 +19,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import CACHE_LINE_BYTES, DramConfig, NvmConfig
+from repro.faults.nvm_errors import (
+    WRITE_BAD_BLOCK,
+    WRITE_OK,
+    WRITE_TORN,
+    NvmErrorModel,
+    NvmMediaError,
+)
 
 
 @dataclass
@@ -35,6 +42,22 @@ class DeviceStats:
         self.writes = 0
         self.read_bytes = 0
         self.write_bytes = 0
+
+
+@dataclass(frozen=True)
+class ReliableWriteResult:
+    """Outcome of one checkpoint write through the reliable-write path.
+
+    *cycles* includes every retried write and its exponential backoff, so
+    media errors show up in the reported checkpoint cost.  *torn* flags a
+    silently corrupted write — the device reported success, and only the
+    checkpoint layer's checksums can catch it at recovery.
+    """
+
+    cycles: int
+    retries: int = 0
+    torn: bool = False
+    remapped_blocks: int = 0
 
 
 class MemoryDevice:
@@ -164,7 +187,12 @@ class NvmDevice(MemoryDevice):
 
     name = "nvm"
 
-    def __init__(self, config: NvmConfig | None = None, freq_hz: int = 3_000_000_000):
+    def __init__(
+        self,
+        config: NvmConfig | None = None,
+        freq_hz: int = 3_000_000_000,
+        error_model: NvmErrorModel | None = None,
+    ):
         config = config or NvmConfig()
         super().__init__(
             config.read_latency_cycles,
@@ -177,6 +205,13 @@ class NvmDevice(MemoryDevice):
             entries=config.write_buffer_entries,
             drain_cycles=max(1, config.write_latency_cycles // config.write_banks),
         )
+        #: Optional media fault oracle; None = perfect media (the default,
+        #: preserving the timing behaviour every experiment was built on).
+        self.error_model = error_model
+        #: Lifetime accounting of the reliable-write path.
+        self.retry_count_total = 0
+        self.torn_writes_total = 0
+        self.remapped_blocks_total = 0
 
     def write(self, size: int = CACHE_LINE_BYTES, now: int = 0) -> int:
         """Latency of a persist write, including write-buffer back-pressure.
@@ -203,6 +238,59 @@ class NvmDevice(MemoryDevice):
         wait = max(0, done_at - now)
         buf.occupancy = 0
         return wait
+
+    def reliable_bulk_write(
+        self, size: int, latency_scale: float = 1.0
+    ) -> ReliableWriteResult:
+        """Checkpoint-path bulk write with media-error handling.
+
+        With no :attr:`error_model` attached this is exactly
+        :meth:`bulk_write` (same cycles, same statistics).  With one, each
+        write is classified by the model:
+
+        * **transient** failures are retried with bounded exponential
+          backoff; the retried traffic and backoff cycles are charged (and
+          do show up in NVM endurance accounting — retries are real writes);
+        * **sticky bad blocks** are remapped onto the spare pool and the
+          write retried; spare exhaustion raises :class:`NvmMediaError`;
+        * **torn** writes succeed as far as the device can tell — the
+          result's ``torn`` flag models corruption the checkpoint layer
+          must catch via its checksums;
+        * spending the whole retry budget raises :class:`NvmMediaError`.
+        """
+        if size <= 0:
+            return ReliableWriteResult(0)
+        cycles = self.bulk_write(size, latency_scale)
+        model = self.error_model
+        if model is None:
+            return ReliableWriteResult(cycles)
+        retries = 0
+        remapped = 0
+        torn = False
+        attempt = 0
+        while True:
+            outcome, block = model.draw_write()
+            if outcome == WRITE_OK:
+                break
+            if outcome == WRITE_TORN:
+                torn = True
+                self.torn_writes_total += 1
+                break
+            if outcome == WRITE_BAD_BLOCK:
+                model.remap(block)  # NvmMediaError once spares run out
+                remapped += 1
+                self.remapped_blocks_total += 1
+            attempt += 1
+            if attempt > model.max_retries:
+                raise NvmMediaError(
+                    f"NVM write of {size} bytes still failing after "
+                    f"{model.max_retries} retries"
+                )
+            retries += 1
+            self.retry_count_total += 1
+            cycles += model.backoff_cycles(attempt)
+            cycles += self.bulk_write(size, latency_scale)
+        return ReliableWriteResult(cycles, retries, torn, remapped)
 
     @property
     def write_buffer_stalls(self) -> int:

@@ -15,7 +15,7 @@ from typing import Callable
 from repro.config import CACHE_LINE_BYTES, SystemConfig
 from repro.memory.address import span_lines
 from repro.memory.cache import Cache
-from repro.memory.devices import DramDevice, NvmDevice
+from repro.memory.devices import DramDevice, NvmDevice, ReliableWriteResult
 
 
 @dataclass(frozen=True)
@@ -178,6 +178,46 @@ class MemoryHierarchy:
             return 0
         return self.nvm.bulk_read(size, latency_scale) + self.nvm.bulk_write(
             size, latency_scale
+        )
+
+    def reliable_copy_dram_to_nvm(
+        self, size: int, latency_scale: float = 1.0
+    ) -> ReliableWriteResult:
+        """Checkpoint copy DRAM → NVM through the reliable-write path.
+
+        Identical cycles to :meth:`copy_dram_to_nvm` on perfect media; with
+        an error model on the NVM device, transient failures are retried
+        (with backoff charged) and torn writes are flagged for the
+        checkpoint layer's checksums.
+        """
+        if self.nvm is None:
+            raise RuntimeError("checkpoint copy issued on a machine without NVM")
+        if size <= 0:
+            return ReliableWriteResult(0)
+        read_cycles = self.dram.bulk_read(size, latency_scale)
+        result = self.nvm.reliable_bulk_write(size, latency_scale)
+        return ReliableWriteResult(
+            read_cycles + result.cycles,
+            result.retries,
+            result.torn,
+            result.remapped_blocks,
+        )
+
+    def reliable_copy_nvm_to_nvm(
+        self, size: int, latency_scale: float = 1.0
+    ) -> ReliableWriteResult:
+        """NVM-internal checkpoint copy through the reliable-write path."""
+        if self.nvm is None:
+            raise RuntimeError("NVM copy issued on a machine without NVM")
+        if size <= 0:
+            return ReliableWriteResult(0)
+        read_cycles = self.nvm.bulk_read(size, latency_scale)
+        result = self.nvm.reliable_bulk_write(size, latency_scale)
+        return ReliableWriteResult(
+            read_cycles + result.cycles,
+            result.retries,
+            result.torn,
+            result.remapped_blocks,
         )
 
     def copy_dram_to_dram(self, size: int, latency_scale: float = 1.0) -> int:

@@ -52,6 +52,36 @@ class ByteImage:
                 self._words.pop(word, None)
         return copied
 
+    def words_in_range(self, rng: AddressRange) -> Iterator[tuple[int, int]]:
+        """(word-aligned address, value) pairs present within *rng*, ordered.
+
+        This is the content the checkpoint path stages for one dirty run —
+        the raw material its CRC32 is computed over.
+        """
+        first = rng.start // WORD_BYTES
+        last = (rng.end - 1) // WORD_BYTES if rng.size else first - 1
+        for word in range(first, last + 1):
+            if word in self._words:
+                yield word * WORD_BYTES, self._words[word]
+
+    def replace_range(self, rng: AddressRange, words) -> int:
+        """Make *rng* hold exactly *words* ((address, value) pairs).
+
+        Words of the range not listed are removed, mirroring
+        :meth:`copy_range_from`'s exact-replica semantics; used when a
+        staged checkpoint run is applied to the persistent image.  Returns
+        the number of words written.
+        """
+        first = rng.start // WORD_BYTES
+        last = (rng.end - 1) // WORD_BYTES if rng.size else first - 1
+        for word in range(first, last + 1):
+            self._words.pop(word, None)
+        written = 0
+        for address, value in words:
+            self._words[address // WORD_BYTES] = value
+            written += 1
+        return written
+
     def iter_words(self) -> Iterator[tuple[int, int]]:
         """(word-aligned address, value) pairs, unordered."""
         for word, value in self._words.items():
