@@ -47,5 +47,5 @@ def test_fig13_watermarks(benchmark):
     assert sssp[max(sssp)] < sssp[min(sssp)], "SSSP should improve with HWM"
     assert mcf[max(mcf)] > mcf[min(mcf)] * 0.95, "mcf should not improve with HWM"
 
-    mcf_lwm = {l: sum(v) for l, v in lwm_rows["605.mcf_s"].items()}
+    mcf_lwm = {lwm: sum(v) for lwm, v in lwm_rows["605.mcf_s"].items()}
     assert mcf_lwm[max(mcf_lwm)] <= mcf_lwm[min(mcf_lwm)] * 1.05

@@ -1,0 +1,60 @@
+"""Harness parallelism — serial vs worker-pool wall clock.
+
+Runs the same figure subset through the repro harness twice, once with
+``jobs=1`` (the legacy in-process path) and once with a worker pool, and
+records both wall-clock times plus the speedup ratio.  The two runs must
+also produce byte-identical figure text — parallelism is only allowed to
+change *when* units run, never *what* they produce.
+
+The timing report is exported as JSON (``results/harness_speedup.json``
+by default, override with ``REPRO_BENCH_OUT``) so CI can archive it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.export import write_json
+from repro.harness import HarnessOptions, run_figures
+
+FIGURES = ["fig1", "fig8"]
+OPS = 4_000
+JOBS = 4
+
+
+def _run(jobs: int) -> tuple[float, list[str]]:
+    start = time.perf_counter()
+    outcomes = run_figures(FIGURES, HarnessOptions(ops=OPS, jobs=jobs))
+    elapsed = time.perf_counter() - start
+    assert all(outcome.ok for outcome in outcomes)
+    return elapsed, [outcome.text for outcome in outcomes]
+
+
+def test_harness_speedup(benchmark):
+    serial_s, serial_text = _run(jobs=1)
+    parallel_s, parallel_text = benchmark.pedantic(
+        _run, kwargs={"jobs": JOBS}, rounds=1, iterations=1
+    )
+    assert parallel_text == serial_text, "parallel output diverged from serial"
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    report = {
+        "figures": FIGURES,
+        "ops": OPS,
+        "jobs": JOBS,
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "identical_output": True,
+    }
+    out = os.environ.get("REPRO_BENCH_OUT", "results/harness_speedup")
+    path = write_json(report, out)
+    print()
+    print(
+        f"harness speedup: serial {serial_s:.2f}s, "
+        f"jobs={JOBS} {parallel_s:.2f}s ({speedup:.2f}x) -> {path}"
+    )
+    # Pool overhead (fork + pipe) is real at small ops counts; the bar
+    # here is only that parallelism is not pathologically slower.
+    assert parallel_s < serial_s * 2.0

@@ -65,3 +65,20 @@ def export_experiment(
 ) -> Path:
     """Write one experiment's rows to ``<out_dir>/<name>.csv``."""
     return write_csv(list(rows), Path(out_dir) / name)
+
+
+def write_json(payload: object, path: str | Path) -> Path:
+    """Write a JSON result document (benchmark reports, harness summaries).
+
+    The companion to :func:`write_csv` for results that are not flat
+    tables — nested timing reports, per-figure failure summaries.  Keys
+    are written sorted so diffs between runs stay readable.
+    """
+    import json
+
+    path = Path(path)
+    if path.suffix != ".json":
+        path = path.with_suffix(path.suffix + ".json")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

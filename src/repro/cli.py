@@ -5,12 +5,18 @@ Usage::
     python -m repro list                 # what can be run
     python -m repro fig8                 # one figure's table to stdout
     python -m repro all --ops 50000      # every figure, sequentially
+    python -m repro all --jobs 4 --timeout 300   # supervised worker pool
+    python -m repro all --manifest run.jsonl     # journal progress
+    python -m repro all --manifest run.jsonl --resume   # pick up where killed
     python -m repro fig10 --out results/ # also write the table to a file
     python -m repro faults sweep         # crash-consistency sweep (fault injection)
+    python -m repro faults sweep --multicore     # ctx-switch / barrier crash points
 
-Each command drives the corresponding entry point in
-:mod:`repro.experiments` and prints the same plain-text table the
-benchmark for that figure prints.
+Figures are decomposed into independent run units and executed by the
+harness (:mod:`repro.harness`): ``--jobs 1`` (the default) runs them
+inline in the legacy serial order with byte-identical output, ``--jobs N``
+runs them on a supervised worker pool with per-unit timeouts, bounded
+retry, and graceful degradation.  See ``docs/HARNESS.md``.
 """
 
 from __future__ import annotations
@@ -21,251 +27,64 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Callable
 
-from repro.analysis.report import format_bytes, render_table
-from repro.experiments import ablations, evaluation, extensions, motivation, overhead
+from repro.analysis.report import render_table
+from repro.harness import (
+    FigureOutcome,
+    HarnessInterrupted,
+    HarnessOptions,
+    ManifestMismatch,
+    figure_names,
+    run_figures,
+)
+
+#: POSIX convention: 128 + SIGINT.
+EXIT_INTERRUPTED = 130
 
 
-def _fig1(ops: int) -> str:
-    rows = motivation.fig1_stack_fraction(target_ops=ops)
-    return render_table(
-        "Figure 1: stack share of memory operations",
-        ["workload", "stack op fraction", "stack write fraction"],
-        [[r.workload, f"{r.stack_fraction:.3f}", f"{r.stack_write_fraction:.3f}"] for r in rows],
-    )
+def _legacy_runner(name: str) -> Callable[[int], str]:
+    def run(ops: int, _name: str = name) -> str:
+        return run_figures([_name], HarnessOptions(ops=ops))[0].text
+
+    return run
 
 
-def _fig2(ops: int) -> str:
-    results = motivation.fig2_beyond_final_sp(num_intervals=100, target_ops=ops)
-    return render_table(
-        "Figure 2: stack writes beyond interval-final SP",
-        ["workload", "stack writes", "beyond final SP", "fraction"],
-        [[r.workload, r.total_writes, r.total_beyond, f"{r.beyond_fraction:.3f}"] for r in results],
-    )
-
-
-def _fig3(ops: int) -> str:
-    cells = motivation.fig3_sp_awareness(target_ops=min(ops, 60_000))
-    return render_table(
-        "Figure 3: flush/undo/redo +/- SP awareness (normalized time)",
-        ["workload", "mechanism", "SP aware", "normalized"],
-        [[c.workload, c.mechanism, "yes" if c.sp_aware else "no", f"{c.normalized_time:.1f}x"] for c in cells],
-    )
-
-
-def _fig4(ops: int) -> str:
-    rows = motivation.fig4_copy_size(target_ops=ops)
-    return render_table(
-        "Figure 4: copy size, page vs 8-byte tracking",
-        ["workload", "page", "8-byte", "reduction"],
-        [
-            [r.workload, format_bytes(r.page_bytes_per_interval),
-             format_bytes(r.byte_bytes_per_interval), f"{r.reduction_factor:.1f}x"]
-            for r in rows
-        ],
-    )
-
-
-def _fig8(ops: int) -> str:
-    results = evaluation.fig8_stack_persistence(target_ops=ops)
-    table = defaultdict(dict)
-    for r in results:
-        table[r.trace_name][r.mechanism_name] = r.normalized_time
-    mechanisms = sorted({r.mechanism_name for r in results})
-    return render_table(
-        "Figure 8: stack persistence (normalized time)",
-        ["workload"] + mechanisms,
-        [[w] + [f"{table[w][m]:.2f}" for m in mechanisms] for w in sorted(table)],
-    )
-
-
-def _fig9(ops: int) -> str:
-    cells = evaluation.fig9_memory_persistence(target_ops=ops)
-    return render_table(
-        "Figure 9: memory-state persistence (normalized time)",
-        ["workload", "ssp interval (us)", "combination", "normalized"],
-        [[c.workload, f"{c.ssp_interval_us:g}", c.combination, f"{c.normalized_time:.2f}"] for c in cells],
-    )
-
-
-def _fig10(ops: int) -> str:
-    cells = evaluation.fig10_usage_patterns(scale=max(0.2, min(1.0, ops / 100_000)))
-    return render_table(
-        "Figure 10: usage patterns x granularity",
-        ["workload", "granularity", "mean ckpt size", "time vs dirtybit"],
-        [
-            [c.workload, str(c.granularity), format_bytes(c.mean_checkpoint_bytes),
-             f"{c.checkpoint_time_vs_dirtybit:.3f}"]
-            for c in cells
-        ],
-    )
-
-
-def _fig11(ops: int) -> str:
-    cells = evaluation.fig11_interval_sweep()
-    return render_table(
-        "Figure 11: checkpoint size vs interval",
-        ["workload", "interval (ms)", "mean ckpt size", "ns/byte"],
-        [
-            [c.workload, f"{c.interval_paper_ms:g}",
-             format_bytes(c.mean_checkpoint_bytes), f"{c.ns_per_byte:.2f}"]
-            for c in cells
-        ],
-    )
-
-
-def _fig12(ops: int) -> str:
-    cells = overhead.fig12_tracking_overhead(target_ops=ops)
-    return render_table(
-        "Figure 12: tracking overhead (user-IPC speedup)",
-        ["workload", "granularity", "speedup", "overhead %"],
-        [[c.workload, f"{c.granularity}B", f"{c.speedup:.4f}", f"{c.overhead_percent:.2f}"] for c in cells],
-    )
-
-
-def _fig13(ops: int) -> str:
-    cells = overhead.fig13_watermark_sensitivity(target_ops=ops)
-    return render_table(
-        "Figure 13: HWM/LWM sensitivity (bitmap loads/stores)",
-        ["workload", "HWM", "LWM", "loads", "stores"],
-        [[c.workload, c.hwm, c.lwm, c.bitmap_loads, c.bitmap_stores] for c in cells],
-    )
-
-
-def _ctx(ops: int) -> str:
-    result = overhead.context_switch_overhead()
-    return render_table(
-        "Context-switch overhead (paper: ~870 cycles)",
-        ["switches", "mean prosper cycles"],
-        [[result.switches, f"{result.mean_prosper_cycles:.0f}"]],
-    )
-
-
-def _energy(ops: int) -> str:
-    report = overhead.energy_report(target_ops=min(ops, 60_000))
-    return render_table(
-        "Lookup-table energy (CACTI-P 7nm)",
-        ["reads", "writes", "dynamic nJ", "leakage nJ", "area mm^2"],
-        [[report.reads, report.writes, f"{report.dynamic_nj:.4f}",
-          f"{report.leakage_nj:.4f}", report.area_mm2]],
-    )
-
-
-def _ablations_cmd(ops: int) -> str:
-    parts = []
-    policy = ablations.allocation_policy_ablation(target_ops=ops)
-    parts.append(render_table(
-        "Ablation: allocation policy (bitmap memory ops)",
-        ["workload", "policy", "total ops"],
-        [[c.workload, c.policy, c.memory_ops] for c in policy],
-    ))
-    bounding = ablations.active_region_bounding_ablation()
-    parts.append(render_table(
-        "Ablation: active-region bounding",
-        ["workload", "speedup"],
-        [[c.workload, f"{c.speedup:.2f}x"] for c in bounding],
-    ))
-    return "\n\n".join(parts)
-
-
-def _endurance_cmd(ops: int) -> str:
-    from repro.analysis.endurance import endurance_report
-    from repro.experiments.runner import (
-        fixed_cost_scale_for,
-        make_engine,
-        scaled_interval_cycles,
-        vanilla_cycles,
-    )
-    from repro.persistence.dirtybit import DirtyBitPersistence
-    from repro.persistence.logging import FlushPersistence
-    from repro.persistence.prosper import ProsperPersistence
-    from repro.workloads.apps import gapbs_pr
-
-    trace = gapbs_pr(min(ops, 50_000))
-    base = vanilla_cycles(trace)
-    scale = fixed_cost_scale_for(base)
-    interval = scaled_interval_cycles(base, 10.0)
-    dirty = sum(trace.copy_sizes(1, 8))
-    rows = []
-    for mech, label in (
-        (ProsperPersistence(), "prosper"),
-        (DirtyBitPersistence(), "dirtybit"),
-        (FlushPersistence(), "flush"),
-    ):
-        engine = make_engine(trace, mech, fixed_cost_scale=scale)
-        engine.run(trace.ops, interval_cycles=interval)
-        r = endurance_report(label, engine.hierarchy, dirty, round(base / scale))
-        rows.append([label, r.nvm_write_bytes, f"{r.write_amplification:.1f}x"])
-    return render_table(
-        "NVM endurance: write traffic by mechanism (gapbs_pr)",
-        ["mechanism", "NVM bytes written", "amplification"],
-        rows,
-    )
-
-
-def _extensions_cmd(ops: int) -> str:
-    parts = []
-    heap = extensions.prosper_heap_experiment(target_ops=ops)
-    parts.append(render_table(
-        "Extension: Prosper on the heap (normalized time)",
-        ["workload", "heap mechanism", "normalized"],
-        [[c.workload, c.heap_mechanism, f"{c.normalized_time:.2f}"] for c in heap],
-    ))
-    adaptive = extensions.adaptive_granularity_experiment()
-    parts.append(render_table(
-        "Extension: adaptive granularity",
-        ["workload", "mechanism", "normalized", "mean ckpt", "final granularity"],
-        [
-            [c.workload, c.mechanism, f"{c.normalized_time:.3f}",
-             format_bytes(c.mean_checkpoint_bytes), c.final_granularity]
-            for c in adaptive
-        ],
-    ))
-    return "\n\n".join(parts)
-
-
-#: Raw dataclass rows per command, for --csv export (figures with a
-#: natural tabular form).
-RAW_ROWS: dict[str, Callable[[int], list]] = {
-    "fig1": lambda ops: motivation.fig1_stack_fraction(target_ops=ops),
-    "fig4": lambda ops: motivation.fig4_copy_size(target_ops=ops),
-    "fig8": lambda ops: [
-        {
-            "workload": r.trace_name,
-            "mechanism": r.mechanism_name,
-            "normalized_time": r.normalized_time,
-        }
-        for r in evaluation.fig8_stack_persistence(target_ops=ops)
-    ],
-    "fig9": lambda ops: evaluation.fig9_memory_persistence(target_ops=ops),
-    "fig10": lambda ops: evaluation.fig10_usage_patterns(
-        scale=max(0.2, min(1.0, ops / 100_000))
-    ),
-    "fig11": lambda ops: evaluation.fig11_interval_sweep(),
-    "fig12": lambda ops: overhead.fig12_tracking_overhead(target_ops=ops),
-    "fig13": lambda ops: overhead.fig13_watermark_sensitivity(target_ops=ops),
-}
-
-
+#: Back-compat: each figure as a plain ``ops -> table text`` callable,
+#: running serially through the harness.
 COMMANDS: dict[str, Callable[[int], str]] = {
-    "fig1": _fig1,
-    "fig2": _fig2,
-    "fig3": _fig3,
-    "fig4": _fig4,
-    "fig8": _fig8,
-    "fig9": _fig9,
-    "fig10": _fig10,
-    "fig11": _fig11,
-    "fig12": _fig12,
-    "fig13": _fig13,
-    "ctx-switch": _ctx,
-    "energy": _energy,
-    "ablations": _ablations_cmd,
-    "extensions": _extensions_cmd,
-    "endurance": _endurance_cmd,
-    "report": lambda ops: __import__(
-        "repro.experiments.report_gen", fromlist=["generate_report"]
-    ).generate_report(ops=ops),
+    name: _legacy_runner(name) for name in figure_names()
 }
+
+
+def _render_sweep_report(report, title: str) -> tuple[str, list[str]]:
+    """Shared rendering for the single-core and multicore crash sweeps."""
+    order: list[str] = []
+    per_point: dict[str, dict[str, int]] = {}
+    for case in report.cases:
+        if case.point not in per_point:
+            per_point[case.point] = defaultdict(int)
+            order.append(case.point)
+        per_point[case.point][case.outcome] += 1
+    table = render_table(
+        title,
+        ["crash point", "cases", "rolled fwd", "previous", "fresh", "violations"],
+        [
+            [
+                point,
+                sum(per_point[point].values()),
+                per_point[point]["rolled_forward"],
+                per_point[point]["previous"],
+                per_point[point]["fresh_start"],
+                per_point[point]["violation"],
+            ]
+            for point in order
+        ],
+    )
+    lines = [
+        f"  VIOLATION at {case.point}#{case.occurrence} "
+        f"(interval {case.crashed_in_interval}): {case.detail}"
+        for case in report.violations
+    ]
+    return table, lines
 
 
 def build_faults_parser() -> argparse.ArgumentParser:
@@ -296,6 +115,15 @@ def build_faults_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the transient-retry and torn-metadata demos",
     )
+    sweep.add_argument(
+        "--multicore",
+        action="store_true",
+        help="also sweep crash points in context-switch tracker save/restore "
+        "and the multicore checkpoint barrier",
+    )
+    sweep.add_argument(
+        "--cores", type=int, default=2, help="cores for the --multicore sweep"
+    )
     return parser
 
 
@@ -319,40 +147,45 @@ def _faults_main(argv: list[str]) -> int:
         print(f"repro faults sweep: error: {exc}", file=sys.stderr)
         return 2
     report = checker.run()
-    order: list[str] = []
-    per_point: dict[str, dict[str, int]] = {}
-    for case in report.cases:
-        if case.point not in per_point:
-            per_point[case.point] = defaultdict(int)
-            order.append(case.point)
-        per_point[case.point][case.outcome] += 1
-    print(render_table(
+    table, violation_lines = _render_sweep_report(
+        report,
         f"Crash-consistency sweep (seed {report.seed}, "
         f"{report.threads} threads, {report.intervals} intervals)",
-        ["crash point", "cases", "rolled fwd", "previous", "fresh", "violations"],
-        [
-            [
-                point,
-                sum(per_point[point].values()),
-                per_point[point]["rolled_forward"],
-                per_point[point]["previous"],
-                per_point[point]["fresh_start"],
-                per_point[point]["violation"],
-            ]
-            for point in order
-        ],
-    ))
+    )
+    print(table)
     print(
         f"\n{len(report.cases)} cases over {report.points_swept} crash points: "
         f"{len(report.violations)} invariant violation(s)"
     )
-    for case in report.violations:
-        print(
-            f"  VIOLATION at {case.point}#{case.occurrence} "
-            f"(interval {case.crashed_in_interval}): {case.detail}"
-        )
+    for line in violation_lines:
+        print(line)
 
     failed = not report.ok
+    if args.multicore:
+        from repro.faults.multicore_sweep import MulticoreCrashChecker
+
+        mc_checker = MulticoreCrashChecker(
+            seed=args.seed,
+            cores=args.cores,
+            intervals=args.intervals,
+            writes_per_interval=args.writes,
+        )
+        mc_report = mc_checker.run()
+        mc_table, mc_lines = _render_sweep_report(
+            mc_report,
+            f"Multicore crash sweep (seed {mc_report.seed}, "
+            f"{mc_report.cores} cores, {mc_report.intervals} intervals)",
+        )
+        print()
+        print(mc_table)
+        print(
+            f"\n{len(mc_report.cases)} cases over {mc_report.points_swept} "
+            f"crash points: {len(mc_report.violations)} invariant violation(s)"
+        )
+        for line in mc_lines:
+            print(line)
+        failed = failed or not mc_report.ok
+
     if not args.no_demos:
         retry = transient_retry_demo(seed=args.seed, threads=args.threads)
         print(render_table(
@@ -404,31 +237,105 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write raw result rows as CSV (tabular figures only)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 1 (default) runs the legacy serial path",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-unit wall-clock budget; exceeded units are killed and "
+        "retried (requires --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="journal per-unit progress to this JSONL manifest",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay units already journaled ok in --manifest instead of "
+        "re-running them",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     if argv and argv[0] == "faults":
-        return _faults_main(argv[1:])
+        try:
+            return _faults_main(argv[1:])
+        except KeyboardInterrupt:
+            print("repro faults: interrupted", file=sys.stderr)
+            return EXIT_INTERRUPTED
     args = build_parser().parse_args(argv)
     if args.command == "list":
         for name in sorted(COMMANDS):
             print(name)
         print("faults (subcommands: sweep)")
         return 0
+    if args.resume and args.manifest is None:
+        print("repro: error: --resume requires --manifest", file=sys.stderr)
+        return 2
+
     names = sorted(COMMANDS) if args.command == "all" else [args.command]
-    for name in names:
-        text = COMMANDS[name](args.ops)
-        print(text)
+    opts = HarnessOptions(
+        ops=args.ops,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        manifest_path=args.manifest,
+        resume=args.resume,
+        progress=lambda msg: print(f"# {msg}", file=sys.stderr),
+    )
+
+    delivered: list[FigureOutcome] = []
+
+    def deliver(outcome: FigureOutcome) -> None:
+        delivered.append(outcome)
+        print(outcome.text)
         print()
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(text + "\n")
-        if args.csv is not None and name in RAW_ROWS:
+            (args.out / f"{outcome.name}.txt").write_text(outcome.text + "\n")
+        if args.csv is not None and outcome.raw_rows:
             from repro.analysis.export import export_experiment
 
-            export_experiment(name, RAW_ROWS[name](args.ops), args.csv)
+            export_experiment(outcome.name, outcome.raw_rows, args.csv)
+
+    try:
+        run_figures(names, opts, on_figure=deliver)
+    except ManifestMismatch as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except HarnessInterrupted:
+        # Completed (and partially completed) figures were already flushed
+        # through ``deliver`` — stdout, --out and --csv artifacts included.
+        print(
+            f"repro: interrupted; flushed {len(delivered)}/{len(names)} "
+            "figure(s)",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+
+    failed = [oc for oc in delivered if oc.failures]
+    if failed:
+        for outcome in failed:
+            print(
+                f"repro: {outcome.name}: "
+                f"{len(outcome.failures)}/{outcome.units_total} runs failed",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.config import TrackerConfig
 from repro.core.bitmap import WORD_BITS, DirtyBitmap

@@ -18,7 +18,7 @@ them; these studies do:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 
 from repro.config import TrackerConfig, setup_i
 from repro.core.bitmap import DirtyBitmap

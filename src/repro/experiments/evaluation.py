@@ -55,8 +55,16 @@ def _app_traces(target_ops: int = DEFAULT_OPS, seed: int = 42) -> list[Trace]:
     ]
 
 
-def micro_benchmarks(scale: float = 1.0, seed: int = 11) -> list[Trace]:
-    """The seven Table III micro-benchmarks at a size multiplier.
+#: Stable keys for the seven Table III micro-benchmarks, in figure order.
+MICRO_BENCHMARK_KEYS = (
+    "random", "stream", "sparse", "quicksort", "recursive", "normal", "poisson",
+)
+
+
+def micro_benchmark_builders(
+    scale: float = 1.0, seed: int = 11
+) -> dict[str, Callable[[], Trace]]:
+    """Deferred builders for the Table III micro-benchmarks, keyed stably.
 
     Random uses a small array with several times more writes than words so
     each interval's coverage is dense-but-fragmented — the case where
@@ -64,15 +72,27 @@ def micro_benchmarks(scale: float = 1.0, seed: int = 11) -> list[Trace]:
     Random and Stream" observation).
     """
     s = scale
-    return [
-        random_workload(array_bytes=16 * 1024, num_writes=int(100_000 * s), seed=seed),
-        stream_workload(array_bytes=int(128 * 1024 * min(1.0, s)) // 8 * 8, passes=2, seed=seed),
-        sparse_workload(pages=48, rounds=int(120 * s), seed=seed),
-        quicksort_workload(elements=int(1500 * s), seed=seed),
-        recursive_workload(depth=8, descents=int(250 * s), seed=seed),
-        normal_workload(blocks=int(600 * s), seed=seed),
-        poisson_workload(blocks=int(600 * s), seed=seed),
-    ]
+    return {
+        "random": lambda: random_workload(
+            array_bytes=16 * 1024, num_writes=int(100_000 * s), seed=seed
+        ),
+        "stream": lambda: stream_workload(
+            array_bytes=int(128 * 1024 * min(1.0, s)) // 8 * 8, passes=2, seed=seed
+        ),
+        "sparse": lambda: sparse_workload(pages=48, rounds=int(120 * s), seed=seed),
+        "quicksort": lambda: quicksort_workload(elements=int(1500 * s), seed=seed),
+        "recursive": lambda: recursive_workload(
+            depth=8, descents=int(250 * s), seed=seed
+        ),
+        "normal": lambda: normal_workload(blocks=int(600 * s), seed=seed),
+        "poisson": lambda: poisson_workload(blocks=int(600 * s), seed=seed),
+    }
+
+
+def micro_benchmarks(scale: float = 1.0, seed: int = 11) -> list[Trace]:
+    """The seven Table III micro-benchmarks at a size multiplier."""
+    builders = micro_benchmark_builders(scale, seed)
+    return [builders[key]() for key in MICRO_BENCHMARK_KEYS]
 
 
 # --------------------------------------------------------------------- #

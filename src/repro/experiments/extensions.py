@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.adaptive import PAGE_FALLBACK, WatermarkController
+from repro.core.adaptive import WatermarkController
 from repro.experiments.runner import run_mechanism, vanilla_cycles
 from repro.persistence.adaptive import AdaptiveProsperPersistence
 from repro.persistence.prosper import ProsperPersistence

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import TrackerConfig, setup_ii
-from repro.core.bitmap import WORD_BITS, DirtyBitmap
+from repro.core.bitmap import DirtyBitmap
 from repro.core.energy import EnergyModel, EnergyReport
 from repro.core.tracker import ProsperTracker
 from repro.cpu.ops import OpKind

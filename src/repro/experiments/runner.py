@@ -15,7 +15,6 @@ not meaningful and are never reported as such.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.config import SystemConfig, setup_i
 from repro.cpu.engine import EngineStats, ExecutionEngine

@@ -38,6 +38,13 @@ COMMIT_FLAG_WRITE = "commit_flag_write"
 BITMAP_CLEAR = "bitmap_clear"
 PERSIST_BARRIER = "persist_barrier"
 
+#: Crash points of the multicore execution path: the context-switch
+#: tracker save/restore (scheduler) and the stop-the-world quiesce
+#: barrier that precedes a process checkpoint (multicore simulation).
+CTX_SAVE = "ctx_save"
+CTX_RESTORE = "ctx_restore"
+BARRIER_QUIESCE = "barrier_quiesce"
+
 
 def stage_run_copy(index: int) -> str:
     """Crash-point name for staging the *index*-th dirty run of a thread."""
@@ -53,6 +60,9 @@ CRASH_POINT_FAMILIES = (
     COMMIT_FLAG_WRITE,
     PERSIST_BARRIER,
     BITMAP_CLEAR,
+    CTX_SAVE,
+    CTX_RESTORE,
+    BARRIER_QUIESCE,
 )
 
 

@@ -1,0 +1,301 @@
+"""Multicore crash sweep: context switches and checkpoint barriers.
+
+Extends the single-core crash-consistency sweep (:mod:`repro.faults.sweep`)
+to the multicore execution path.  The crash surfaces here are the ones the
+single-core sweep never reaches:
+
+* ``ctx_save`` / ``ctx_restore`` — inside :meth:`Scheduler.switch_to`,
+  while the per-core Prosper tracker state of the outgoing thread is being
+  flushed and saved, or the incoming thread's saved state is being loaded;
+* ``barrier_quiesce`` — inside the stop-the-world quiesce barrier each
+  core passes before a process-wide checkpoint;
+* plus every point of the two-step staging/commit protocol itself, now
+  exercised with per-core trackers feeding one shared checkpoint manager.
+
+The invariant is the same as the single-core sweep's — recovery restores
+exactly one checkpoint's snapshot of *every* thread, registers and stack
+contents alike — with the multicore-specific sharpening that threads
+scheduled on different cores must never resume from different checkpoint
+epochs (a "blend").  Crashes that land *outside* any checkpoint (the
+context-switch points) are additionally required to restore the most
+recently committed checkpoint, not merely some committed checkpoint.
+
+Like the single-core sweep, every run derives from one seed, so any
+violation is reproducible by re-arming the same (point, occurrence).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.injector import (
+    CTX_RESTORE,
+    CTX_SAVE,
+    CrashInjected,
+    FaultInjector,
+)
+from repro.faults.sweep import (
+    ACTIVE_WINDOW_BYTES,
+    CLUSTER_STRIDE,
+    OUTCOME_FRESH_START,
+    OUTCOME_PREVIOUS,
+    OUTCOME_ROLLED_FORWARD,
+    OUTCOME_VIOLATION,
+    SweepCase,
+    state_mismatch,
+)
+from repro.kernel.multicore import MultiCoreSimulation
+from repro.memory.image import ByteImage
+
+#: Crash points that fire between checkpoints (inside a context switch)
+#: rather than inside the checkpoint pipeline.
+WORKLOAD_PHASE_POINTS = frozenset({CTX_SAVE, CTX_RESTORE})
+
+
+@dataclass
+class MulticoreSweepReport:
+    """Aggregate outcome of a multicore crash sweep."""
+
+    seed: int
+    cores: int
+    intervals: int
+    writes_per_interval: int
+    cases: list[SweepCase] = field(default_factory=list)
+
+    @property
+    def violations(self) -> list[SweepCase]:
+        return [case for case in self.cases if not case.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def points_swept(self) -> int:
+        return len({case.point for case in self.cases})
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for case in self.cases:
+            counts[case.outcome] = counts.get(case.outcome, 0) + 1
+        return counts
+
+
+class _MulticoreScenario:
+    """One deterministic multicore run: 2 threads per core, real scheduler.
+
+    Each interval gives every thread one scheduling quantum on its home
+    core — a genuine :meth:`Scheduler.switch_to` with Prosper tracker
+    save/restore, which is where the ``ctx_save``/``ctx_restore`` crash
+    points live — during which the thread dirties its active stack window
+    with interval-unique values.  After each interval the scenario
+    snapshots an independent mirror of all thread state, then drives the
+    simulation's stop-the-world checkpoint (quiesce barrier + shared
+    checkpoint manager).
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        cores: int,
+        intervals: int,
+        writes_per_interval: int,
+        injector: FaultInjector | None,
+    ) -> None:
+        self.seed = seed
+        self.intervals = intervals
+        self.writes_per_interval = writes_per_interval
+        self.dram_images: dict[int, ByteImage] = {}
+        self.nvm_images: dict[int, ByteImage] = {}
+        # Two persistent threads per core so every switch both saves the
+        # outgoing tracker state and restores the incoming one.
+        self.sim = MultiCoreSimulation(
+            thread_ops=[[] for _ in range(2 * cores)],
+            num_cores=cores,
+            stack_bytes=512 * 1024,
+            injector=injector,
+            dram_images=self.dram_images,
+            nvm_images=self.nvm_images,
+        )
+        self.process = self.sim.process
+        self.sp: dict[int, int] = {}
+        for thread in self.process.iter_threads():
+            thread.registers.stack_pointer = (
+                thread.stack.end - ACTIVE_WINDOW_BYTES
+            )
+            self.sp[thread.tid] = thread.registers.stack_pointer
+            self.dram_images[thread.tid] = ByteImage()
+            self.nvm_images[thread.tid] = ByteImage()
+        #: Independent mirror of each thread's live stack words.
+        self.mirror: dict[int, dict[int, int]] = {tid: {} for tid in self.sp}
+        #: Mirror + register snapshots taken just before checkpoint k.
+        self.mem_at: list[dict[int, dict[int, int]]] = []
+        self.regs_at: list[dict[int, int]] = []
+
+    # ------------------------------------------------------------------ #
+
+    def _workload_interval(self, k: int) -> None:
+        """One quantum per thread per core, with interval-unique values."""
+        for core in self.sim.cores:
+            for thread, _ops, _cursor in core.queue:
+                core.scheduler.switch_to(thread)  # ctx_save / ctx_restore
+                sp = self.sp[thread.tid]
+                for j in range(self.writes_per_interval):
+                    address = sp + j * CLUSTER_STRIDE
+                    value = (thread.tid << 48) | ((k + 1) << 32) | (j + 1)
+                    core.tracker.observe_store(address, 8)
+                    self.dram_images[thread.tid].write(address, value)
+                    self.mirror[thread.tid][address] = value
+                    thread.registers.op_index += 1
+
+    def run(self) -> int:
+        """Run every interval + checkpoint; returns checkpoints completed.
+
+        An armed injector makes this raise :class:`CrashInjected` either
+        mid-switch (``len(self.mem_at)`` checkpoints committed) or inside
+        checkpoint ``len(self.mem_at) - 1``.
+        """
+        completed = 0
+        for k in range(self.intervals):
+            self._workload_interval(k)
+            self.mem_at.append(
+                {tid: dict(words) for tid, words in self.mirror.items()}
+            )
+            self.regs_at.append(
+                {
+                    thread.tid: thread.registers.op_index
+                    for thread in self.process.iter_threads()
+                }
+            )
+            self.sim._checkpoint()  # barrier_quiesce + staging/commit points
+            completed += 1
+        return completed
+
+    def state_mismatch(self, sequence: int | None) -> str | None:
+        return state_mismatch(
+            self.process,
+            self.sp,
+            self.dram_images,
+            self.nvm_images,
+            self.mem_at,
+            self.regs_at,
+            sequence,
+        )
+
+
+class MulticoreCrashChecker:
+    """Enumerates and verifies every multicore crash point."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cores: int = 2,
+        intervals: int = 3,
+        writes_per_interval: int = 4,
+    ) -> None:
+        if cores < 1 or intervals < 1 or writes_per_interval < 1:
+            raise ValueError("cores, intervals and writes must be positive")
+        self.seed = seed
+        self.cores = cores
+        self.intervals = intervals
+        self.writes_per_interval = writes_per_interval
+
+    def _scenario(self, injector: FaultInjector | None) -> _MulticoreScenario:
+        return _MulticoreScenario(
+            self.seed, self.cores, self.intervals, self.writes_per_interval, injector
+        )
+
+    def enumerate_points(self) -> list[tuple[str, int]]:
+        """Probe pass: every (point, occurrence) the workload reaches."""
+        probe = FaultInjector(self.seed)
+        self._scenario(probe).run()
+        ordered: list[str] = []
+        for point in probe.fired:
+            if point not in ordered:
+                ordered.append(point)
+        counts = probe.occurrences()
+        return [
+            (point, occurrence)
+            for point in ordered
+            for occurrence in range(counts[point])
+        ]
+
+    def run_case(self, point: str, occurrence: int) -> SweepCase:
+        """Crash at one (point, occurrence), recover, check the invariant."""
+        injector = FaultInjector(self.seed)
+        injector.arm(point, occurrence)
+        scenario = self._scenario(injector)
+        try:
+            scenario.run()
+        except CrashInjected:
+            pass
+        else:
+            return SweepCase(
+                point,
+                occurrence,
+                -1,
+                None,
+                OUTCOME_VIOLATION,
+                "armed crash point never fired",
+            )
+        snapshots = len(scenario.mem_at)
+        injector.disarm()
+        scenario.sim.crash()
+        report = scenario.sim.recover()
+        resumed = report.resumed_from_sequence
+
+        if point in WORKLOAD_PHASE_POINTS:
+            # Crash mid-switch: no checkpoint in flight, `snapshots`
+            # checkpoints committed.  Recovery must restore the *latest*
+            # committed checkpoint exactly — anything older is data loss.
+            crashed_in = snapshots - 1
+            if snapshots == 0 and resumed is None:
+                outcome = OUTCOME_FRESH_START
+            elif snapshots > 0 and resumed == snapshots - 1:
+                outcome = OUTCOME_PREVIOUS
+            else:
+                return SweepCase(
+                    point,
+                    occurrence,
+                    crashed_in,
+                    resumed,
+                    OUTCOME_VIOLATION,
+                    f"resumed from {resumed}, expected "
+                    f"{snapshots - 1 if snapshots else None} "
+                    "(latest committed checkpoint)",
+                )
+        else:
+            # Crash inside checkpoint `snapshots - 1`: either it completed
+            # (rolled forward) or recovery falls back to its predecessor.
+            crashed_in = snapshots - 1
+            if resumed == crashed_in:
+                outcome = OUTCOME_ROLLED_FORWARD
+            elif crashed_in > 0 and resumed == crashed_in - 1:
+                outcome = OUTCOME_PREVIOUS
+            elif crashed_in == 0 and resumed is None:
+                outcome = OUTCOME_FRESH_START
+            else:
+                return SweepCase(
+                    point,
+                    occurrence,
+                    crashed_in,
+                    resumed,
+                    OUTCOME_VIOLATION,
+                    f"resumed from {resumed}, expected {crashed_in} or "
+                    f"{crashed_in - 1 if crashed_in else None}",
+                )
+        mismatch = scenario.state_mismatch(resumed)
+        if mismatch is not None:
+            return SweepCase(
+                point, occurrence, crashed_in, resumed, OUTCOME_VIOLATION, mismatch
+            )
+        return SweepCase(point, occurrence, crashed_in, resumed, outcome)
+
+    def run(self) -> MulticoreSweepReport:
+        """Sweep every enumerated (point, occurrence)."""
+        report = MulticoreSweepReport(
+            self.seed, self.cores, self.intervals, self.writes_per_interval
+        )
+        for point, occurrence in self.enumerate_points():
+            report.cases.append(self.run_case(point, occurrence))
+        return report

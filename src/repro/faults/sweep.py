@@ -126,6 +126,51 @@ class TornMetadataDemoResult:
         return self.discarded_staged > 0
 
 
+def state_mismatch(
+    process: Process,
+    sp: dict[int, int],
+    dram_images: dict[int, ByteImage],
+    nvm_images: dict[int, ByteImage],
+    mem_at: list[dict[int, dict[int, int]]],
+    regs_at: list[dict[int, int]],
+    sequence: int | None,
+) -> str | None:
+    """Compare restored process state against checkpoint *sequence*'s snapshot.
+
+    The crash-consistency invariant shared by the single-core and multicore
+    sweeps: registers and stack contents (DRAM and NVM images alike) must
+    equal exactly one checkpoint's snapshot — never a blend of two
+    checkpoints or of two threads' epochs.  Returns None on an exact match,
+    else a description of the first divergence.  ``sequence=None`` means
+    "pristine": no checkpoint ever committed.
+    """
+    if sequence is None:
+        expected_regs = {tid: 0 for tid in sp}
+        expected_mem: dict[int, dict[int, int]] = {tid: {} for tid in sp}
+    else:
+        expected_regs = regs_at[sequence]
+        expected_mem = mem_at[sequence]
+    for thread in process.iter_threads():
+        tid = thread.tid
+        if thread.registers.op_index != expected_regs[tid]:
+            return (
+                f"tid {tid}: op_index {thread.registers.op_index} != "
+                f"expected {expected_regs[tid]}"
+            )
+        window = AddressRange(sp[tid], thread.stack.end)
+        for label, image in (
+            ("DRAM", dram_images[tid]),
+            ("NVM", nvm_images[tid]),
+        ):
+            actual = dict(image.words_in_range(window))
+            if actual != expected_mem[tid]:
+                return (
+                    f"tid {tid}: {label} stack contents diverge from "
+                    f"checkpoint {sequence} (blend or data loss)"
+                )
+    return None
+
+
 class _SweepScenario:
     """One deterministic run of the sweep workload.
 
@@ -242,36 +287,18 @@ class _SweepScenario:
     def state_mismatch(self, sequence: int | None) -> str | None:
         """Compare restored state against checkpoint *sequence*'s snapshot.
 
-        Returns None on an exact match, else a human-readable description
-        of the first divergence.  ``sequence=None`` means "pristine": no
-        checkpoint ever committed, so registers must be zeroed and both
-        images empty.
+        Delegates to the module-level :func:`state_mismatch`, which the
+        multicore sweep shares.
         """
-        if sequence is None:
-            expected_regs = {tid: 0 for tid in self.sp}
-            expected_mem: dict[int, dict[int, int]] = {tid: {} for tid in self.sp}
-        else:
-            expected_regs = self.regs_at[sequence]
-            expected_mem = self.mem_at[sequence]
-        for thread in self.process.iter_threads():
-            tid = thread.tid
-            if thread.registers.op_index != expected_regs[tid]:
-                return (
-                    f"tid {tid}: op_index {thread.registers.op_index} != "
-                    f"expected {expected_regs[tid]}"
-                )
-            window = AddressRange(self.sp[tid], thread.stack.end)
-            for label, image in (
-                ("DRAM", self.dram_images[tid]),
-                ("NVM", self.nvm_images[tid]),
-            ):
-                actual = dict(image.words_in_range(window))
-                if actual != expected_mem[tid]:
-                    return (
-                        f"tid {tid}: {label} stack contents diverge from "
-                        f"checkpoint {sequence} (blend or data loss)"
-                    )
-        return None
+        return state_mismatch(
+            self.process,
+            self.sp,
+            self.dram_images,
+            self.nvm_images,
+            self.mem_at,
+            self.regs_at,
+            sequence,
+        )
 
 
 class CrashConsistencyChecker:

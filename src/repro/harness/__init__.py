@@ -1,0 +1,51 @@
+"""Supervised experiment-execution harness.
+
+Decomposes every figure into independent run units, executes them on a
+supervised worker pool with per-unit wall-clock timeouts and bounded
+retry, journals progress to a resumable JSONL manifest, and assembles
+figure tables that degrade gracefully when units fail.  See
+``docs/HARNESS.md`` for the run-unit model, the error taxonomy, the
+manifest format, and resume semantics.
+"""
+
+from repro.harness.errors import (
+    PERMANENT,
+    TIMEOUT,
+    TRANSIENT,
+    WORKER_CRASH,
+    WORKLOAD_ERROR,
+    TransientWorkloadError,
+    UnitFailure,
+)
+from repro.harness.figures import FIGURES, FigureSpec, RunUnit, figure_names
+from repro.harness.journal import ManifestMismatch, RunJournal, load_manifest
+from repro.harness.pool import UnitOutcome, WorkerPool
+from repro.harness.supervisor import (
+    FigureOutcome,
+    HarnessInterrupted,
+    HarnessOptions,
+    run_figures,
+)
+
+__all__ = [
+    "FIGURES",
+    "PERMANENT",
+    "TIMEOUT",
+    "TRANSIENT",
+    "WORKER_CRASH",
+    "WORKLOAD_ERROR",
+    "FigureOutcome",
+    "FigureSpec",
+    "HarnessInterrupted",
+    "HarnessOptions",
+    "ManifestMismatch",
+    "RunJournal",
+    "RunUnit",
+    "TransientWorkloadError",
+    "UnitFailure",
+    "UnitOutcome",
+    "WorkerPool",
+    "figure_names",
+    "load_manifest",
+    "run_figures",
+]

@@ -1,0 +1,112 @@
+"""Structured error taxonomy for supervised experiment runs.
+
+Every run-unit failure is classified along two axes:
+
+* **kind** — what happened mechanically: the unit exceeded its wall-clock
+  budget (``Timeout``), the worker process died without reporting a result
+  (``WorkerCrash``), or the workload itself raised (``WorkloadError``).
+* **severity** — whether retrying can help: ``Transient`` failures are
+  requeued with exponential backoff; ``Permanent`` ones are journaled and
+  surface as a ``DEGRADED`` annotation on the owning figure.
+
+Timeouts and worker crashes are environmental, so they start ``Transient``
+and harden to ``Permanent`` only once the retry budget is exhausted.  A
+workload exception is ``Permanent`` immediately — rerunning a
+deterministic simulation cannot change its outcome — unless the exception
+type is on the known-transient list (resource pressure, interrupted
+syscalls) or the workload raised :class:`TransientWorkloadError` to ask
+for a retry explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Failure kinds.
+TIMEOUT = "Timeout"
+WORKER_CRASH = "WorkerCrash"
+WORKLOAD_ERROR = "WorkloadError"
+
+#: Failure severities.
+TRANSIENT = "Transient"
+PERMANENT = "Permanent"
+
+#: Exception type names whose failures are worth retrying: they signal
+#: resource pressure or interruption, not a deterministic workload bug.
+TRANSIENT_EXCEPTION_TYPES = frozenset(
+    {
+        "TransientWorkloadError",
+        "MemoryError",
+        "OSError",
+        "BlockingIOError",
+        "InterruptedError",
+        "BrokenPipeError",
+        "EOFError",
+    }
+)
+
+
+class TransientWorkloadError(RuntimeError):
+    """A workload-raised error the harness should treat as retryable."""
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """Terminal failure record for one run unit (after all retries)."""
+
+    figure: str
+    unit_id: str
+    kind: str
+    severity: str
+    detail: str
+    attempts: int
+
+    @property
+    def reason(self) -> str:
+        """One-line reason used in journal records and DEGRADED notes."""
+        return (
+            f"{self.unit_id}: {self.kind} [{self.severity}] "
+            f"after {self.attempts} attempt(s): {self.detail}"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "detail": self.detail,
+            "attempts": self.attempts,
+        }
+
+
+def exception_is_transient(exc_type_name: str) -> bool:
+    """Whether a workload exception of this type is worth retrying."""
+    return exc_type_name in TRANSIENT_EXCEPTION_TYPES
+
+
+def classify_event(kind: str, exc_type_name: str | None) -> str:
+    """Severity of one failure *event*: is retrying it worthwhile?"""
+    if kind in (TIMEOUT, WORKER_CRASH):
+        return TRANSIENT
+    if exc_type_name is not None and exception_is_transient(exc_type_name):
+        return TRANSIENT
+    return PERMANENT
+
+
+def should_retry(kind: str, exc_type_name: str | None, attempt: int, max_retries: int) -> bool:
+    """Decide whether a failed attempt is requeued.
+
+    *attempt* is 0-based (the attempt that just failed); the unit has
+    ``max_retries`` retries beyond the first attempt.  Only transient
+    events retry; a permanent event (a deterministic workload exception)
+    fails the unit immediately.  A unit whose transient events exhaust the
+    retry budget is *hardened* to a Permanent terminal failure — nothing
+    within this run will retry it again, only an explicit ``--resume``.
+    """
+    if attempt >= max_retries:
+        return False
+    return classify_event(kind, exc_type_name) == TRANSIENT
+
+
+def backoff_delay(attempt: int, base_s: float, cap_s: float) -> float:
+    """Exponential backoff delay before retry *attempt + 1* (seconds)."""
+    return min(cap_s, base_s * (2.0 ** attempt))

@@ -1,0 +1,307 @@
+"""Supervised multiprocessing worker pool with timeouts and retries.
+
+Each run unit executes in its own worker process, supervised by the
+parent: a unit that exceeds its wall-clock budget is killed (SIGKILL) and
+requeued, a worker that dies without reporting a result is a
+``WorkerCrash``, and a workload exception travels back over the result
+pipe as a ``WorkloadError``.  Transient failures retry with exponential
+backoff (the backoff is a *not-before* timestamp on the queue entry, so
+waiting units never block the rest of the pool); permanent ones are
+reported to the caller and degrade the owning figure.
+
+One process per unit, rather than a long-lived worker pool, is a
+deliberate robustness choice: a kill cannot poison a sibling unit's
+state, a crashed unit cannot leave a worker wedged, and on Linux (fork)
+the per-unit spawn cost is milliseconds against units that run for
+seconds.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.harness import cache as cache_mod
+from repro.harness.errors import (
+    PERMANENT,
+    TIMEOUT,
+    WORKER_CRASH,
+    WORKLOAD_ERROR,
+    UnitFailure,
+    backoff_delay,
+    should_retry,
+)
+from repro.harness.figures import RunUnit, execute_unit
+
+#: Supervisor poll period while workers run.
+_POLL_S = 0.02
+
+
+@dataclass
+class UnitOutcome:
+    """Terminal outcome of one run unit (after retries)."""
+
+    figure: str
+    unit_id: str
+    payload: dict | None
+    failure: UnitFailure | None
+    attempts: int
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class _Queued:
+    unit: RunUnit
+    attempt: int = 0
+    not_before: float = 0.0
+    first_started: float | None = None
+
+
+@dataclass
+class _InFlight:
+    task: _Queued
+    proc: mp.process.BaseProcess
+    conn: object  # receiving end of the result pipe
+    deadline: float | None
+    started: float = field(default_factory=time.monotonic)
+
+
+def _worker_main(conn, figure: str, unit_id: str, params: dict, attempt: int,
+                 cache_dir: str | None) -> None:
+    """Worker entry: run one unit, send ("ok", payload) or ("error", ...)."""
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # ctrl-C belongs to the parent
+    if cache_mod.active_cache() is None and cache_dir is not None:
+        cache_mod.activate(cache_mod.ResultCache(cache_dir))
+    try:
+        payload = execute_unit(figure, params, attempt=attempt, unit_id=unit_id)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # report everything; the parent classifies
+        try:
+            conn.send(("error", type(exc).__name__, str(exc)))
+        except (OSError, ValueError):
+            pass
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Runs units on up to *jobs* supervised worker processes."""
+
+    def __init__(
+        self,
+        jobs: int,
+        timeout_s: float | None = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.5,
+        backoff_cap_s: float = 8.0,
+        cache_dir: str | None = None,
+        on_outcome: Callable[[UnitOutcome], None] | None = None,
+        progress: Callable[[str], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.timeout_s = timeout_s if timeout_s and timeout_s > 0 else None
+        self.max_retries = max_retries
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.cache_dir = cache_dir
+        self.on_outcome = on_outcome
+        self.progress = progress or (lambda _msg: None)
+        methods = mp.get_all_start_methods()
+        self._ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, units: list[RunUnit]) -> list[UnitOutcome]:
+        """Execute *units*; returns outcomes in completion order.
+
+        On KeyboardInterrupt every in-flight worker is killed and the
+        interrupt propagates — outcomes recorded so far were already
+        delivered through ``on_outcome``.
+        """
+        queue: list[_Queued] = [_Queued(unit) for unit in units]
+        inflight: list[_InFlight] = []
+        outcomes: list[UnitOutcome] = []
+        try:
+            while queue or inflight:
+                self._launch_ready(queue, inflight)
+                self._poll(queue, inflight, outcomes)
+                if queue or inflight:
+                    time.sleep(_POLL_S)
+        except BaseException:
+            for entry in inflight:
+                self._kill(entry)
+            raise
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+
+    def _launch_ready(self, queue: list[_Queued], inflight: list[_InFlight]) -> None:
+        now = time.monotonic()
+        while len(inflight) < self.jobs:
+            index = next(
+                (i for i, task in enumerate(queue) if task.not_before <= now), None
+            )
+            if index is None:
+                return
+            task = queue.pop(index)
+            if task.first_started is None:
+                task.first_started = now
+            recv_conn, send_conn = self._ctx.Pipe(duplex=False)
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(
+                    send_conn,
+                    task.unit.figure,
+                    task.unit.unit_id,
+                    task.unit.params,
+                    task.attempt,
+                    self.cache_dir,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()  # the worker holds the other end
+            deadline = now + self.timeout_s if self.timeout_s else None
+            inflight.append(_InFlight(task, proc, recv_conn, deadline))
+
+    def _poll(
+        self,
+        queue: list[_Queued],
+        inflight: list[_InFlight],
+        outcomes: list[UnitOutcome],
+    ) -> None:
+        now = time.monotonic()
+        still_running: list[_InFlight] = []
+        for entry in inflight:
+            message = None
+            try:
+                if entry.conn.poll(0):
+                    message = entry.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if message is not None:
+                entry.proc.join()
+                entry.conn.close()
+                self._handle_message(entry, message, queue, outcomes)
+            elif entry.deadline is not None and now >= entry.deadline:
+                self._kill(entry)
+                self._handle_failure(
+                    entry.task,
+                    TIMEOUT,
+                    None,
+                    f"exceeded {self.timeout_s:g}s wall-clock budget",
+                    queue,
+                    outcomes,
+                )
+            elif not entry.proc.is_alive():
+                entry.conn.close()
+                self._handle_failure(
+                    entry.task,
+                    WORKER_CRASH,
+                    None,
+                    f"worker exited with code {entry.proc.exitcode} "
+                    "before reporting a result",
+                    queue,
+                    outcomes,
+                )
+            else:
+                still_running.append(entry)
+        inflight[:] = still_running
+
+    def _kill(self, entry: _InFlight) -> None:
+        try:
+            entry.proc.kill()
+            entry.proc.join()
+        except (OSError, AttributeError):
+            pass
+        try:
+            entry.conn.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+
+    def _handle_message(
+        self,
+        entry: _InFlight,
+        message: tuple,
+        queue: list[_Queued],
+        outcomes: list[UnitOutcome],
+    ) -> None:
+        task = entry.task
+        if message[0] == "ok":
+            outcome = UnitOutcome(
+                figure=task.unit.figure,
+                unit_id=task.unit.unit_id,
+                payload=message[1],
+                failure=None,
+                attempts=task.attempt + 1,
+                elapsed_s=time.monotonic() - (task.first_started or entry.started),
+            )
+            outcomes.append(outcome)
+            self.progress(
+                f"{task.unit.figure}/{task.unit.unit_id} ok "
+                f"({outcome.elapsed_s:.1f}s, attempt {outcome.attempts})"
+            )
+            if self.on_outcome is not None:
+                self.on_outcome(outcome)
+        else:
+            _, exc_type, detail = message
+            self._handle_failure(
+                task, WORKLOAD_ERROR, exc_type, f"{exc_type}: {detail}", queue, outcomes
+            )
+
+    def _handle_failure(
+        self,
+        task: _Queued,
+        kind: str,
+        exc_type: str | None,
+        detail: str,
+        queue: list[_Queued],
+        outcomes: list[UnitOutcome],
+    ) -> None:
+        if should_retry(kind, exc_type, task.attempt, self.max_retries):
+            delay = backoff_delay(task.attempt, self.backoff_base_s, self.backoff_cap_s)
+            self.progress(
+                f"{task.unit.figure}/{task.unit.unit_id} {kind}: {detail} — "
+                f"retry {task.attempt + 1}/{self.max_retries} in {delay:.1f}s"
+            )
+            task.attempt += 1
+            task.not_before = time.monotonic() + delay
+            queue.append(task)
+            return
+        # Terminal failures are Permanent by definition: either the event
+        # itself was (a deterministic workload exception), or its retries
+        # are exhausted and nothing in this run will try again.
+        failure = UnitFailure(
+            figure=task.unit.figure,
+            unit_id=task.unit.unit_id,
+            kind=kind,
+            severity=PERMANENT,
+            detail=detail,
+            attempts=task.attempt + 1,
+        )
+        outcome = UnitOutcome(
+            figure=task.unit.figure,
+            unit_id=task.unit.unit_id,
+            payload=None,
+            failure=failure,
+            attempts=task.attempt + 1,
+            elapsed_s=time.monotonic() - (task.first_started or time.monotonic()),
+        )
+        outcomes.append(outcome)
+        self.progress(f"{task.unit.figure}/{task.unit.unit_id} FAILED: {failure.reason}")
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)

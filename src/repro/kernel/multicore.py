@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from repro.config import SystemConfig, setup_i
 from repro.core.tracker import ProsperTracker
 from repro.cpu.ops import Op, OpKind
+from repro.faults.injector import BARRIER_QUIESCE, FaultInjector
 from repro.kernel.checkpoint_mgr import CheckpointManager
 from repro.kernel.process import Process, Thread
 from repro.kernel.restore import CrashSimulator, RecoveryReport
@@ -71,6 +72,9 @@ class MultiCoreSimulation:
         quantum_ops: int = 500,
         checkpoint_every_rounds: int = 5,
         config: SystemConfig | None = None,
+        injector: FaultInjector | None = None,
+        dram_images: dict | None = None,
+        nvm_images: dict | None = None,
     ) -> None:
         if not thread_ops:
             raise ValueError("need at least one thread")
@@ -80,6 +84,7 @@ class MultiCoreSimulation:
         self.process = Process(name="mc-sim")
         self.quantum_ops = quantum_ops
         self.checkpoint_every_rounds = checkpoint_every_rounds
+        self.injector = injector
         self.stats = MultiCoreStats()
 
         # Shared memory-side state: checkpoints target one NVM device; for
@@ -92,14 +97,24 @@ class MultiCoreSimulation:
                 CoreState(
                     index=index,
                     tracker=tracker,
-                    scheduler=Scheduler(tracker),
+                    scheduler=Scheduler(tracker, injector=injector),
                     hierarchy=MemoryHierarchy(self.config),
                 )
             )
         self.manager = CheckpointManager(
-            self.process, self.cores[0].hierarchy, self.cores[0].tracker
+            self.process,
+            self.cores[0].hierarchy,
+            self.cores[0].tracker,
+            injector=injector,
+            dram_images=dram_images,
+            nvm_images=nvm_images,
         )
-        self.crash_sim = CrashSimulator(self.process, self.manager)
+        self.crash_sim = CrashSimulator(
+            self.process,
+            self.manager,
+            dram_images=dram_images,
+            nvm_images=nvm_images,
+        )
 
         for i, ops in enumerate(thread_ops):
             thread = self.process.spawn_thread(stack_bytes, persistent=True)
@@ -166,6 +181,8 @@ class MultiCoreSimulation:
         for core in self.cores:
             current = core.scheduler.current
             if current is not None and current.persistent:
+                if self.injector is not None:
+                    self.injector.reached(BARRIER_QUIESCE)
                 core.tracker.request_flush()
                 core.tracker.poll_quiescent()
         _, cycles = self.manager.checkpoint_process()

@@ -9,7 +9,7 @@ and Prosper tracker state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.config import TrackerConfig

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.tracker import ProsperTracker
+from repro.faults.injector import CTX_RESTORE, CTX_SAVE, FaultInjector
 from repro.kernel.process import Thread
 
 #: Baseline context-switch cost without any Prosper involvement (register
@@ -40,8 +41,11 @@ class ContextSwitchStats:
 class Scheduler:
     """Schedules threads on a single logical CPU with one Prosper tracker."""
 
-    def __init__(self, tracker: ProsperTracker) -> None:
+    def __init__(
+        self, tracker: ProsperTracker, injector: FaultInjector | None = None
+    ) -> None:
         self.tracker = tracker
+        self.injector = injector
         self.current: Thread | None = None
         self.stats = ContextSwitchStats()
 
@@ -59,12 +63,16 @@ class Scheduler:
             # Flush + save tracker state for the outgoing context.  The OS
             # overlaps its other switch work with the flush drain; the
             # save_state cost already accounts for the polling step.
+            if self.injector is not None:
+                self.injector.reached(CTX_SAVE)
             state, spent = self.tracker.save_state()
             outgoing.tracker_state = state
             prosper_cycles += spent
 
         if incoming.persistent:
             if incoming.tracker_state is not None:
+                if self.injector is not None:
+                    self.injector.reached(CTX_RESTORE)
                 prosper_cycles += self.tracker.restore_state(
                     incoming.tracker_state, incoming.bitmap
                 )

@@ -17,7 +17,7 @@ bitmap before allowing the write.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import PAGE_BYTES
 from repro.memory.address import AddressRange, page_index, span_pages

@@ -16,7 +16,7 @@ the analysis layer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import CACHE_LINE_BYTES, DramConfig, NvmConfig
 from repro.faults.nvm_errors import (

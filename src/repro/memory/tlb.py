@@ -20,7 +20,7 @@ experiments run without it (the paper's normalized results divide it out).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import PAGE_BYTES
 

@@ -1,6 +1,5 @@
 """Tests for repro.cpu: ops, registers, and the execution engine."""
 
-import numpy as np
 import pytest
 
 from repro.cpu.engine import ExecutionEngine

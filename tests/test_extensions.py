@@ -1,6 +1,5 @@
 """Tests for the extension experiments (Prosper on heap, adaptive loops)."""
 
-from repro.core.adaptive import PAGE_FALLBACK
 from repro.experiments import extensions
 
 

@@ -4,7 +4,6 @@ crash-consistency sweep, torn-record detection, and verified recovery."""
 import pytest
 
 from repro.config import TrackerConfig, setup_i
-from repro.core.bitmap import DirtyBitmap
 from repro.core.checkpoint import ProsperCheckpointEngine
 from repro.core.tracker import ProsperTracker
 from repro.faults.injector import (

@@ -1,7 +1,7 @@
 """Tests for ByteImage and data-integrity recovery in the simulation."""
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
 from repro.cpu.ops import Op, OpKind
 from repro.kernel.simulation import MultiThreadSimulation
