@@ -1,0 +1,100 @@
+"""Execution-engine speedup — scalar reference vs batched fast path.
+
+Runs the reference trace (quicksort, the call-dense stack workload at the
+heart of the paper's stack-persistence studies) through both engine
+implementations and records wall-clock times plus the speedup ratio:
+
+* the gated run is the no-persistence configuration — the exact shape of
+  the ``vanilla_cycles`` baseline that every figure computes at least once
+  per workload, where per-op Python overhead (what the batched path
+  eliminates) dominates; it must be at least ``MIN_SPEEDUP`` faster;
+* a second, informational run measures the full Prosper mechanism, whose
+  per-store tracker hooks are inherently sequential and shared by both
+  engines, so its ratio is reported but not gated.
+
+Both runs must produce identical engine stats — the fast path is only
+allowed to change *how fast* the simulation runs, never what it computes
+(the exhaustive check lives in ``tests/test_engine_equivalence.py``).
+
+The timing report is exported as JSON (``results/engine_speedup.json`` by
+default, override with ``REPRO_BENCH_OUT``) so CI can archive it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+
+from repro.analysis.export import write_json
+from repro.cpu.engine import ExecutionEngine
+from repro.cpu.engine_fast import BatchedExecutionEngine
+from repro.persistence.none import NoPersistence
+from repro.persistence.prosper import ProsperPersistence
+from repro.workloads.callstack import quicksort_workload
+
+INTERVAL_CYCLES = 60_000
+#: Acceptance floor for the batched engine on the reference (vanilla) run.
+MIN_SPEEDUP = 3.0
+
+
+def _reference_trace():
+    return quicksort_workload(elements=4096, repeats=6, seed=42)
+
+
+def _time_pair(mechanism_factory) -> dict:
+    trace = _reference_trace()
+    elapsed = {}
+    stats = {}
+    for engine_cls in (ExecutionEngine, BatchedExecutionEngine):
+        engine = engine_cls(
+            stack_range=trace.stack_range,
+            mechanism=mechanism_factory(),
+            heap_range=trace.heap_range,
+        )
+        start = time.perf_counter()
+        result = engine.run(trace, interval_cycles=INTERVAL_CYCLES)
+        elapsed[engine_cls] = time.perf_counter() - start
+        stats[engine_cls] = dataclasses.asdict(result)
+    assert stats[BatchedExecutionEngine] == stats[ExecutionEngine], (
+        "batched stats diverged from scalar"
+    )
+    scalar_s = elapsed[ExecutionEngine]
+    batched_s = elapsed[BatchedExecutionEngine]
+    ops = stats[ExecutionEngine]["ops_executed"]
+    return {
+        "ops": ops,
+        "scalar_s": round(scalar_s, 4),
+        "batched_s": round(batched_s, 4),
+        "scalar_us_per_op": round(scalar_s / ops * 1e6, 4),
+        "batched_us_per_op": round(batched_s / ops * 1e6, 4),
+        "speedup": round(scalar_s / batched_s, 2) if batched_s else float("inf"),
+        "stats_identical": True,
+    }
+
+
+def test_engine_speedup(benchmark):
+    vanilla = benchmark.pedantic(
+        _time_pair, args=(NoPersistence,), rounds=1, iterations=1
+    )
+    prosper = _time_pair(ProsperPersistence)
+
+    report = {
+        "trace": "quicksort",
+        "interval_cycles": INTERVAL_CYCLES,
+        "min_speedup": MIN_SPEEDUP,
+        "vanilla": vanilla,
+        "prosper": prosper,
+    }
+    out = os.environ.get("REPRO_BENCH_OUT", "results/engine_speedup.json")
+    path = write_json(report, out)
+
+    print(
+        f"\nengine speedup (quicksort): vanilla {vanilla['speedup']:.1f}x, "
+        f"prosper {prosper['speedup']:.1f}x (report: {path})"
+    )
+    assert vanilla["speedup"] >= MIN_SPEEDUP, (
+        f"batched engine only {vanilla['speedup']:.2f}x faster "
+        f"(need {MIN_SPEEDUP}x): scalar {vanilla['scalar_s']:.3f}s "
+        f"vs batched {vanilla['batched_s']:.3f}s"
+    )

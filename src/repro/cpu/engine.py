@@ -22,15 +22,77 @@ Normalized execution time as plotted in the paper (Figures 3, 8, 9) is then
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.config import SystemConfig, setup_i
-from repro.cpu.ops import Op, OpKind
+from repro.cpu.ops import TRACE_DTYPE, Op, OpKind, ops_to_array
 from repro.cpu.registers import RegisterFile
 from repro.memory.address import AddressRange
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.persistence.base import IntervalContext, PersistenceMechanism
+
+
+class IntervalWriteLog:
+    """Bounded-memory log of stack-write addresses within one interval.
+
+    Replaces the historical unbounded ``list[int]``: addresses live in a
+    compact ``array('Q')`` (8 bytes each) plus, for the batched engine,
+    zero-copy numpy chunks sliced straight out of the trace.  The only
+    query the engine needs — how many logged writes landed below the
+    interval-final SP — is answered with vectorized comparisons.
+    """
+
+    __slots__ = ("_scalar", "_chunks", "_chunk_count")
+
+    def __init__(self) -> None:
+        self._scalar = array("Q")
+        self._chunks: list[np.ndarray] = []
+        self._chunk_count = 0
+
+    def __len__(self) -> int:
+        return len(self._scalar) + self._chunk_count
+
+    def append(self, address: int) -> None:
+        self._scalar.append(address)
+
+    def extend_array(self, addresses: np.ndarray) -> None:
+        if len(addresses):
+            self._chunks.append(addresses)
+            self._chunk_count += len(addresses)
+
+    def count_below(self, sp: int) -> int:
+        """Number of logged addresses strictly below *sp*."""
+        if sp <= 0:
+            return 0
+        total = 0
+        if self._scalar:
+            scalar = np.frombuffer(self._scalar, dtype=np.uint64)
+            total += int(np.count_nonzero(scalar < np.uint64(sp)))
+        for chunk in self._chunks:
+            total += int(np.count_nonzero(chunk < sp))
+        return total
+
+    def clear(self) -> None:
+        del self._scalar[:]
+        self._chunks = []
+        self._chunk_count = 0
+
+
+def trace_array(ops) -> np.ndarray:
+    """Coerce an op stream (Trace, TRACE_DTYPE array, or Op sequence) to
+    the canonical ``TRACE_DTYPE`` array form."""
+    arr = getattr(ops, "array", None)
+    if arr is not None and isinstance(arr, np.ndarray):
+        return arr
+    if isinstance(ops, np.ndarray):
+        if ops.dtype != TRACE_DTYPE:
+            raise TypeError(f"expected TRACE_DTYPE array, got {ops.dtype}")
+        return ops
+    return ops_to_array(list(ops))
 
 
 @dataclass
@@ -157,7 +219,7 @@ class ExecutionEngine:
         # Interval bookkeeping.
         self._interval_index = 0
         self._interval_min_sp = self.registers.stack_pointer
-        self._interval_stack_write_addrs: list[int] = []
+        self._interval_writes = IntervalWriteLog()
 
     # ------------------------------------------------------------------ #
     # Main loop
@@ -248,7 +310,7 @@ class ExecutionEngine:
         if in_stack:
             if is_write:
                 self.stats.stack_writes += 1
-                self._interval_stack_write_addrs.append(op.address)
+                self._interval_writes.append(op.address)
             else:
                 self.stats.stack_reads += 1
             extra = (
@@ -320,7 +382,7 @@ class ExecutionEngine:
             spent += self.heap_mechanism.on_interval_start(self._heap_context())
         self._charge_interval(spent)
         self._interval_min_sp = self.registers.stack_pointer
-        self._interval_stack_write_addrs = []
+        self._interval_writes.clear()
 
     def _end_interval(self) -> None:
         spent = self.mechanism.on_interval_end(self._context())
@@ -329,15 +391,16 @@ class ExecutionEngine:
         self._charge_interval(spent)
 
         final_sp = self.registers.stack_pointer
-        beyond = sum(1 for a in self._interval_stack_write_addrs if a < final_sp)
         self.stats.intervals.append(
             IntervalRecord(
                 index=self._interval_index,
                 end_cycle=self.now,
                 final_sp=final_sp,
                 min_sp=self._interval_min_sp,
-                stack_writes=len(self._interval_stack_write_addrs),
-                stack_writes_beyond_final_sp=beyond,
+                stack_writes=len(self._interval_writes),
+                stack_writes_beyond_final_sp=self._interval_writes.count_below(
+                    final_sp
+                ),
                 checkpoint_cycles=spent,
             )
         )

@@ -1,0 +1,329 @@
+"""Batched execution engine: the vectorized fast path of the simulator.
+
+:class:`BatchedExecutionEngine` executes the same machine model as the
+scalar :class:`~repro.cpu.engine.ExecutionEngine` — cycle for cycle, stat
+for stat — but consumes the trace in its native ``TRACE_DTYPE`` array form
+and eliminates the per-op Python object overhead that dominates the scalar
+loop:
+
+* the op stream is processed in chunks; per chunk, op classification
+  (kind, read/write, stack/heap containment), cache-line indices,
+  single-line detection, and the full SP trajectory (cumulative CALL/RET
+  deltas) are computed as numpy arrays up front;
+* the remaining per-op loop touches plain Python ints from ``tolist()``'d
+  columns and handles only the inherently sequential residue: cache tag
+  state, device write-buffer timing, and mechanism hooks;
+* the overwhelmingly common case — a single-line access that hits in L1 —
+  is handled inline against the cache's columnar arrays (dict probe, tick
+  stamp, dirty bit) without a single method call;
+* aggregate statistics (op counts, stack/other read/write counters, the
+  interval write log, the interval-minimum SP) are accumulated as numpy
+  reductions over chunk slices instead of per-op updates.
+
+What cannot be vectorized is not approximated: cache hit/miss sequences,
+NVM write-buffer stalls (which depend on the access's exact cycle), and
+mechanism inline costs all flow through the same code paths as the scalar
+engine, with ``hierarchy.now`` kept in sync at every stateful call.  The
+scalar engine remains the differential oracle; see
+``tests/test_engine_equivalence.py`` and ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CACHE_LINE_BYTES
+from repro.cpu.engine import EngineStats, ExecutionEngine, trace_array
+from repro.cpu.ops import OpKind
+from repro.persistence.none import NoPersistence
+
+_READ = int(OpKind.READ)
+_WRITE = int(OpKind.WRITE)
+_CALL = int(OpKind.CALL)
+_RET = int(OpKind.RET)
+_COMPUTE = int(OpKind.COMPUTE)
+
+#: Ops per vectorization chunk.  Large enough to amortize the numpy
+#: precompute, small enough to keep the per-chunk arrays cache-resident.
+CHUNK_OPS = 4096
+
+
+class BatchedExecutionEngine(ExecutionEngine):
+    """Drop-in engine producing identical results to the scalar reference.
+
+    Construction, configuration, and the :meth:`run` contract are inherited
+    unchanged; only the execution strategy differs.  ``run`` accepts a
+    :class:`~repro.workloads.trace.Trace`, a ``TRACE_DTYPE`` array, or any
+    op sequence (converted once up front).
+    """
+
+    def run(
+        self,
+        ops,
+        interval_cycles: int = 0,
+        interval_ops: int | None = None,
+        final_checkpoint: bool = True,
+    ) -> EngineStats:
+        if interval_cycles < 0:
+            raise ValueError("interval_cycles must be non-negative")
+        if interval_ops is not None and interval_ops <= 0:
+            raise ValueError("interval_ops must be positive")
+        arr = trace_array(ops)
+        periodic = bool(interval_cycles) or interval_ops is not None
+        next_boundary = self.now + interval_cycles if interval_cycles else None
+        ops_in_interval = 0
+        if periodic:
+            self._start_interval()
+
+        total = len(arr)
+        start = 0
+        while start < total:
+            stop = min(total, start + CHUNK_OPS)
+            next_boundary, ops_in_interval = self._run_chunk(
+                arr[start:stop],
+                interval_cycles,
+                interval_ops,
+                next_boundary,
+                ops_in_interval,
+            )
+            start = stop
+
+        if periodic and final_checkpoint and ops_in_interval > 0:
+            self._end_interval()
+        return self.stats
+
+    def _run_chunk(
+        self,
+        chunk: np.ndarray,
+        interval_cycles: int,
+        interval_ops: int | None,
+        next_boundary: int | None,
+        ops_in_interval: int,
+    ) -> tuple[int | None, int]:
+        n = len(chunk)
+        kinds_np = chunk["kind"]
+        addrs_np = chunk["address"].astype(np.int64)
+        sizes_np = chunk["size"].astype(np.int64)
+
+        stack_start = self.stack_range.start
+        stack_end = self.stack_range.end
+        line_bytes = CACHE_LINE_BYTES
+
+        # Vectorized classification.  READ/WRITE are the two lowest kinds,
+        # so one comparison yields the memory-op mask.
+        is_write_np = kinds_np == _WRITE
+        mem_np = kinds_np <= _WRITE
+        stack_np = mem_np & (addrs_np >= stack_start) & (addrs_np < stack_end)
+        stack_write_np = stack_np & is_write_np
+        single_np = mem_np & (sizes_np > 0) & (
+            addrs_np % line_bytes + sizes_np <= line_bytes
+        )
+        lines_np = addrs_np // line_bytes
+
+        heap_mech = self.heap_mechanism
+        heap_np = None
+        if heap_mech is not None:
+            heap_range = self.heap_range
+            heap_np = (
+                mem_np
+                & ~stack_np
+                & (addrs_np >= heap_range.start)
+                & (addrs_np < heap_range.end)
+            )
+
+        # SP trajectory: value of the stack pointer after each op.
+        delta_np = np.where(
+            kinds_np == _CALL,
+            -sizes_np,
+            np.where(kinds_np == _RET, sizes_np, 0),
+        )
+        sp_np = self.registers.stack_pointer + np.cumsum(delta_np)
+
+        # A CALL that pushes SP below the stack base raises mid-run; find
+        # the first offender (if any) and truncate the loop there.
+        overflow_at = -1
+        if int(sp_np.min(initial=stack_start)) < stack_start:
+            violations = np.nonzero((kinds_np == _CALL) & (sp_np < stack_start))[0]
+            if len(violations):
+                overflow_at = int(violations[0])
+
+        # Python-int columns for the residual loop.
+        kinds = kinds_np.tolist()
+        addrs = addrs_np.tolist()
+        sizes = sizes_np.tolist()
+        stack_flags = stack_np.tolist()
+        single_flags = single_np.tolist()
+        lines = lines_np.tolist()
+        sps = sp_np.tolist()
+        heap_flags = heap_np.tolist() if heap_np is not None else None
+
+        # Hot-loop locals.
+        hierarchy = self.hierarchy
+        l1 = hierarchy.l1
+        l1_index_get = l1._index.get
+        l1_age = l1._age
+        l1_dirty = l1._dirty
+        l1_latency = self.config.l1d.latency_cycles
+        access_line = hierarchy._access_line
+        full_access = hierarchy.access
+        tlb = self.tlb
+        mechanism = self.mechanism
+        mech_trivial = type(mechanism) is NoPersistence
+        mech_load = mechanism.on_load
+        mech_store = mechanism.on_store
+        heap_trivial = heap_mech is None or type(heap_mech) is NoPersistence
+        heap_load = heap_mech.on_load if heap_mech is not None else None
+        heap_store = heap_mech.on_store if heap_mech is not None else None
+        ops_mode = interval_ops is not None
+        cycles_mode = next_boundary is not None
+
+        now = self.now
+        app = 0
+        inline = 0
+        l1_hits = 0
+        seg = 0  # start of the unflushed segment [seg, i)
+
+        def flush(end: int) -> None:
+            """Commit aggregates for ops [seg, end) and sync engine state."""
+            nonlocal app, inline, l1_hits, seg
+            stats = self.stats
+            if end > seg:
+                seg_slice = slice(seg, end)
+                seg_stack = stack_np[seg_slice]
+                seg_write = is_write_np[seg_slice]
+                seg_mem = mem_np[seg_slice]
+                sw = seg_stack & seg_write
+                stack_writes = int(np.count_nonzero(sw))
+                stack_reads = int(np.count_nonzero(seg_stack)) - stack_writes
+                writes = int(np.count_nonzero(seg_write))
+                mem_ops = int(np.count_nonzero(seg_mem))
+                stats.stack_writes += stack_writes
+                stats.stack_reads += stack_reads
+                stats.other_writes += writes - stack_writes
+                stats.other_reads += (
+                    mem_ops - writes - stack_reads
+                )
+                if stack_writes:
+                    self._interval_writes.extend_array(addrs_np[seg_slice][sw])
+                seg_min = int(sp_np[seg_slice].min())
+                if seg_min < self._interval_min_sp:
+                    self._interval_min_sp = seg_min
+                if mech_trivial:
+                    mechanism.stats.stores_seen += stack_writes
+                    mechanism.stats.loads_seen += stack_reads
+                if heap_mech is not None and heap_trivial and heap_np is not None:
+                    seg_heap = heap_np[seg_slice]
+                    hw = int(np.count_nonzero(seg_heap & seg_write))
+                    heap_mech.stats.stores_seen += hw
+                    heap_mech.stats.loads_seen += (
+                        int(np.count_nonzero(seg_heap)) - hw
+                    )
+                stats.ops_executed += end - seg
+                self.registers.op_index += end - seg
+                self.registers.stack_pointer = sps[end - 1]
+                seg = end
+            stats.app_cycles += app
+            stats.inline_cycles += inline
+            app = 0
+            inline = 0
+            if l1_hits:
+                l1.stats.hits += l1_hits
+                l1_hits = 0
+            self.now = now
+            hierarchy.now = now
+
+        loop_end = overflow_at if overflow_at >= 0 else n
+        i = 0
+        while i < loop_end:
+            k = kinds[i]
+            if k <= _WRITE:
+                address = addrs[i]
+                size = sizes[i]
+                is_write = k == _WRITE
+                if tlb is not None:
+                    cost = tlb.translate(address, is_write)
+                    now += cost
+                    app += cost
+                if single_flags[i]:
+                    slot = l1_index_get(lines[i])
+                    if slot is not None:
+                        # Inline L1 hit: the dominant case.
+                        l1_hits += 1
+                        tick = l1._tick + 1
+                        l1._tick = tick
+                        l1_age[slot] = tick
+                        if is_write:
+                            l1_dirty[slot] = 1
+                        latency = l1_latency
+                    else:
+                        hierarchy.now = now
+                        latency = access_line(
+                            lines[i], address, is_write
+                        ).latency_cycles
+                else:
+                    hierarchy.now = now
+                    latency = full_access(address, size, is_write).latency_cycles
+                now += latency
+                app += latency
+                if stack_flags[i]:
+                    if not mech_trivial:
+                        hierarchy.now = now
+                        extra = (
+                            mech_store(address, size, now)
+                            if is_write
+                            else mech_load(address, size, now)
+                        )
+                        if extra:
+                            now += extra
+                            inline += extra
+                elif heap_flags is not None and heap_flags[i]:
+                    if not heap_trivial:
+                        hierarchy.now = now
+                        extra = (
+                            heap_store(address, size, now)
+                            if is_write
+                            else heap_load(address, size, now)
+                        )
+                        if extra:
+                            now += extra
+                            inline += extra
+            elif k == _COMPUTE:
+                cost = sizes[i]
+                now += cost
+                app += cost
+            else:  # CALL / RET (overflowing CALLs were truncated out above)
+                now += 1
+                app += 1
+
+            if ops_mode:
+                ops_in_interval += 1
+                if ops_in_interval >= interval_ops:
+                    flush(i + 1)
+                    self._end_interval()
+                    ops_in_interval = 0
+                    self._start_interval()
+                    now = self.now
+            elif cycles_mode:
+                # The count still matters here: a trailing partial interval
+                # is only committed when ops ran since the last boundary.
+                ops_in_interval += 1
+                if now >= next_boundary:
+                    flush(i + 1)
+                    self._end_interval()
+                    next_boundary = self.now + interval_cycles
+                    ops_in_interval = 0
+                    self._start_interval()
+                    now = self.now
+            i += 1
+
+        if overflow_at >= 0:
+            # Replicate the scalar engine exactly: the faulting CALL counts
+            # as executed, moves SP (and the interval minimum), charges no
+            # cycles, and raises.
+            flush(overflow_at + 1)
+            sp = sps[overflow_at]
+            raise RuntimeError(
+                f"stack overflow: SP {sp:#x} below {stack_start:#x}"
+            )
+        flush(n)
+        return next_boundary, ops_in_interval

@@ -66,14 +66,121 @@ TRACE_DTYPE = np.dtype(
 def ops_to_array(ops: list[Op]) -> np.ndarray:
     """Pack a list of :class:`Op` into a ``TRACE_DTYPE`` array."""
     arr = np.empty(len(ops), dtype=TRACE_DTYPE)
-    for i, op in enumerate(ops):
-        arr[i] = (int(op.kind), op.address, op.size)
+    arr["kind"] = [op.kind for op in ops]
+    arr["address"] = [op.address for op in ops]
+    arr["size"] = [op.size for op in ops]
     return arr
+
+
+_OP_KINDS = tuple(OpKind)
 
 
 def array_to_ops(arr: np.ndarray) -> list[Op]:
     """Unpack a ``TRACE_DTYPE`` array into :class:`Op` records."""
+    kinds = _OP_KINDS
     return [
-        Op(OpKind(int(k)), int(a), int(s))
-        for k, a, s in zip(arr["kind"], arr["address"], arr["size"])
+        Op(kinds[k], a, s)
+        for k, a, s in zip(
+            arr["kind"].tolist(), arr["address"].tolist(), arr["size"].tolist()
+        )
     ]
+
+
+class TraceBuilder:
+    """Columnar accumulator for generating ``TRACE_DTYPE`` trace arrays.
+
+    Workload generators historically built ``list[Op]``; this builder keeps
+    the same append-style interface but stores plain integer columns and
+    whole numpy chunks, so a trace is materialized directly as a structured
+    array without ever constructing per-op objects.
+    """
+
+    __slots__ = ("_chunks", "_kinds", "_addrs", "_sizes", "_count")
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._kinds: list[int] = []
+        self._addrs: list[int] = []
+        self._sizes: list[int] = []
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def append(self, kind: int, address: int = 0, size: int = 8) -> None:
+        """Append one op (kind may be an :class:`OpKind` or its int value)."""
+        if size < 0:
+            raise ValueError(f"op size must be non-negative, got {size}")
+        self._kinds.append(kind)
+        self._addrs.append(address)
+        self._sizes.append(size)
+        self._count += 1
+
+    # Convenience wrappers mirroring the op vocabulary.
+    def read(self, address: int, size: int = 8) -> None:
+        self.append(_READ, address, size)
+
+    def write(self, address: int, size: int = 8) -> None:
+        self.append(_WRITE, address, size)
+
+    def call(self, frame_bytes: int) -> None:
+        self.append(_CALL, 0, frame_bytes)
+
+    def ret(self, frame_bytes: int) -> None:
+        self.append(_RET, 0, frame_bytes)
+
+    def compute(self, cycles: int) -> None:
+        self.append(_COMPUTE, 0, cycles)
+
+    def _flush_pending(self) -> None:
+        if not self._kinds:
+            return
+        chunk = np.empty(len(self._kinds), dtype=TRACE_DTYPE)
+        chunk["kind"] = self._kinds
+        chunk["address"] = self._addrs
+        chunk["size"] = self._sizes
+        self._chunks.append(chunk)
+        self._kinds = []
+        self._addrs = []
+        self._sizes = []
+
+    def extend(self, kinds, addresses, sizes) -> None:
+        """Append a vector of ops; each column may be an array or a scalar."""
+        n = max(
+            np.size(kinds), np.size(addresses), np.size(sizes)
+        )
+        if n == 0:
+            return
+        self._flush_pending()
+        chunk = np.empty(n, dtype=TRACE_DTYPE)
+        chunk["kind"] = kinds
+        chunk["address"] = addresses
+        chunk["size"] = sizes
+        self._chunks.append(chunk)
+        self._count += n
+
+    def extend_array(self, chunk: np.ndarray) -> None:
+        """Append a pre-built ``TRACE_DTYPE`` chunk (kept by reference)."""
+        if chunk.dtype != TRACE_DTYPE:
+            raise TypeError(f"expected TRACE_DTYPE chunk, got {chunk.dtype}")
+        if len(chunk) == 0:
+            return
+        self._flush_pending()
+        self._chunks.append(chunk)
+        self._count += len(chunk)
+
+    def to_array(self) -> np.ndarray:
+        """Materialize the accumulated ops as one ``TRACE_DTYPE`` array."""
+        self._flush_pending()
+        if not self._chunks:
+            return np.empty(0, dtype=TRACE_DTYPE)
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        return np.concatenate(self._chunks)
+
+
+_READ = int(OpKind.READ)
+_WRITE = int(OpKind.WRITE)
+_CALL = int(OpKind.CALL)
+_RET = int(OpKind.RET)
+_COMPUTE = int(OpKind.COMPUTE)

@@ -120,14 +120,21 @@ def stack_only(trace: Trace) -> Trace:
     """
     from repro.cpu.ops import OpKind
 
-    kept = [
-        op
-        for op in trace.ops
-        if op.kind in (OpKind.CALL, OpKind.RET)
-        or (op.is_memory and trace.stack_range.contains(op.address))
-    ]
+    arr = trace.array
+    kinds = arr["kind"]
+    addrs = arr["address"]
+    stack = trace.stack_range
+    keep = (
+        (kinds == int(OpKind.CALL))
+        | (kinds == int(OpKind.RET))
+        | (
+            (kinds <= int(OpKind.WRITE))
+            & (addrs >= stack.start)
+            & (addrs < stack.end)
+        )
+    )
     return Trace(
-        kept,
+        arr[keep],
         trace.stack_range,
         heap_range=trace.heap_range,
         name=trace.name,
@@ -161,7 +168,7 @@ def fig3_sp_awareness(
             for aware in (False, True):
                 mechanism = factory(sp_oracle=oracle if aware else None)
                 engine = make_engine(trace, mechanism)
-                stats = engine.run(trace.ops, interval_ops=interval_ops)
+                stats = engine.run(trace, interval_ops=interval_ops)
                 results.append(
                     SpAwarenessCell(
                         trace.name,

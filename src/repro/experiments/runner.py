@@ -14,10 +14,12 @@ not meaningful and are never reported as such.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 from repro.config import SystemConfig, setup_i
 from repro.cpu.engine import EngineStats, ExecutionEngine
+from repro.cpu.engine_fast import BatchedExecutionEngine
 from repro.persistence.base import PersistenceMechanism
 from repro.persistence.none import NoPersistence
 from repro.workloads.trace import Trace
@@ -45,6 +47,25 @@ class RunResult:
         return self.normalized_time - 1.0
 
 
+def engine_class(config: SystemConfig | None = None) -> type[ExecutionEngine]:
+    """Engine implementation selected by config / ``REPRO_ENGINE``.
+
+    The environment variable wins (it is how the CLI's ``--engine`` flag
+    propagates into harness worker processes); otherwise the config's
+    ``engine`` field decides.  Batched is the default everywhere.
+    """
+    mode = os.environ.get("REPRO_ENGINE", "").strip()
+    if not mode:
+        mode = getattr(config, "engine", None) or "batched"
+    if mode == "scalar":
+        return ExecutionEngine
+    if mode == "batched":
+        return BatchedExecutionEngine
+    raise ValueError(
+        f"unknown engine mode {mode!r} (expected 'batched' or 'scalar')"
+    )
+
+
 def make_engine(
     trace: Trace,
     mechanism: PersistenceMechanism | None = None,
@@ -53,7 +74,7 @@ def make_engine(
     fixed_cost_scale: float = 1.0,
 ) -> ExecutionEngine:
     """Build an engine matching *trace*'s address-space layout."""
-    return ExecutionEngine(
+    return engine_class(config)(
         config=config or setup_i(),
         stack_range=trace.stack_range,
         mechanism=mechanism or NoPersistence(),
@@ -83,7 +104,7 @@ def fixed_cost_scale_for(
 def vanilla_cycles(trace: Trace, config: SystemConfig | None = None) -> int:
     """Application cycles of *trace* with no persistence and no intervals."""
     engine = make_engine(trace, NoPersistence(), config)
-    stats = engine.run(trace.ops)
+    stats = engine.run(trace)
     return stats.app_cycles
 
 
@@ -112,6 +133,6 @@ def run_mechanism(
         trace, mechanism, config, heap_mechanism, fixed_cost_scale=scale
     )
     interval = scaled_interval_cycles(base, interval_paper_ms)
-    stats = engine.run(trace.ops, interval_cycles=interval)
+    stats = engine.run(trace, interval_cycles=interval)
     label = mechanism_label or getattr(mechanism, "variant_name", mechanism.name)
     return RunResult(trace.name, label, stats, base)

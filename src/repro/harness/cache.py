@@ -34,10 +34,7 @@ def trace_fingerprint(trace: Trace) -> str:
     )
     if trace.heap_range is not None:
         hasher.update(f"{trace.heap_range.start}:{trace.heap_range.end}|".encode())
-    for op in trace.ops:
-        hasher.update(
-            f"{op.kind.value},{op.address},{op.size};".encode()
-        )
+    hasher.update(trace.array.tobytes())
     return hasher.hexdigest()
 
 

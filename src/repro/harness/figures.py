@@ -315,7 +315,7 @@ def _fig3_execute(params: dict) -> dict:
     factory = _FIG3_MECHANISMS[params["mechanism"]]
     mechanism = factory(sp_oracle=oracle if params["aware"] else None)
     engine = make_engine(trace, mechanism)
-    stats = engine.run(trace.ops, interval_ops=interval_ops)
+    stats = engine.run(trace, interval_ops=interval_ops)
     return {
         "rows": [
             {
@@ -960,7 +960,7 @@ def _endurance_execute(params: dict) -> dict:
     interval = scaled_interval_cycles(base, 10.0)
     dirty = sum(trace.copy_sizes(1, 8))
     engine = make_engine(trace, mechanism, fixed_cost_scale=scale)
-    engine.run(trace.ops, interval_cycles=interval)
+    engine.run(trace, interval_cycles=interval)
     report = endurance_report(label, engine.hierarchy, dirty, round(base / scale))
     return {
         "rows": [

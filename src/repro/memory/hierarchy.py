@@ -9,8 +9,7 @@ the flush/undo/redo and SSP baselines pay their per-store costs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, NamedTuple
 
 from repro.config import CACHE_LINE_BYTES, SystemConfig
 from repro.memory.address import span_lines
@@ -18,12 +17,15 @@ from repro.memory.cache import Cache
 from repro.memory.devices import DramDevice, NvmDevice, ReliableWriteResult
 
 
-@dataclass(frozen=True)
-class AccessResult:
+class AccessResult(NamedTuple):
     """Outcome of one demand access."""
 
     latency_cycles: int
     hit_level: str  # "L1", "L2", "L3", "mem"
+
+
+#: Ordering of hit levels, outermost = slowest; shared by every access.
+_LEVEL_RANK = {"L1": 0, "L2": 1, "L3": 2, "mem": 3}
 
 
 class MemoryHierarchy:
@@ -52,6 +54,9 @@ class MemoryHierarchy:
         self.dram = DramDevice(config.dram, config.freq_hz)
         self.nvm = NvmDevice(config.nvm, config.freq_hz) if config.nvm else None
         self._nvm_resident = nvm_resident or (lambda _address: False)
+        self._l1_latency = config.l1d.latency_cycles
+        self._l2_latency = config.l2.latency_cycles
+        self._l3_latency = config.l3.latency_cycles
         self.now = 0  # advanced by callers that track global time
 
     # ------------------------------------------------------------------ #
@@ -69,30 +74,38 @@ class MemoryHierarchy:
         Multi-line accesses are charged per line; the returned latency is the
         serial sum, a deliberately pessimistic but simple model.
         """
+        if 0 < size and (address % CACHE_LINE_BYTES) + size <= CACHE_LINE_BYTES:
+            # Common case: the access stays within one cache line.
+            return self._access_line(
+                address // CACHE_LINE_BYTES, address, is_write
+            )
         total = 0
+        worst_rank = 0
         worst_level = "L1"
-        level_rank = {"L1": 0, "L2": 1, "L3": 2, "mem": 3}
+        level_rank = _LEVEL_RANK
         for line in span_lines(address, size):
             result = self._access_line(line, address, is_write)
             total += result.latency_cycles
-            if level_rank[result.hit_level] > level_rank[worst_level]:
+            rank = level_rank[result.hit_level]
+            if rank > worst_rank:
+                worst_rank = rank
                 worst_level = result.hit_level
         return AccessResult(total, worst_level)
 
     def _access_line(self, line: int, address: int, is_write: bool) -> AccessResult:
-        latency = self.config.l1d.latency_cycles
+        latency = self._l1_latency
         hit, victim = self.l1.access(line, is_write)
         self._handle_writeback(victim, self.l2)
         if hit:
             return AccessResult(latency, "L1")
 
-        latency += self.config.l2.latency_cycles
+        latency += self._l2_latency
         hit, victim = self.l2.access(line, False)
         self._handle_writeback(victim, self.l3)
         if hit:
             return AccessResult(latency, "L2")
 
-        latency += self.config.l3.latency_cycles
+        latency += self._l3_latency
         hit, victim = self.l3.access(line, False)
         if victim is not None:
             # Dirty L3 victim goes to its backing device.

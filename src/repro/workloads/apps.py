@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cpu.ops import Op, OpKind
+from repro.cpu.ops import OpKind, TraceBuilder
 from repro.memory.address import AddressRange
 from repro.workloads.synthetic import DEFAULT_HEAP
 from repro.workloads.trace import Trace
@@ -156,14 +156,14 @@ def app_workload(
     if isinstance(profile, str):
         profile = APP_PROFILES[profile]
     rng = np.random.default_rng(seed)
-    ops: list[Op] = []
+    ops = TraceBuilder()
     # The resident base frame holds the hot working set plus the sparse
     # spill area; excursions push frames below it.
     base_frame = profile.hot_set_bytes + profile.spill_set_bytes
     if base_frame > stack.size // 2:
         raise ValueError("profile working set does not fit in the stack region")
     sp = stack.end - base_frame
-    ops.append(Op(OpKind.CALL, size=base_frame))
+    ops.call(base_frame)
 
     heap_span = min(profile.heap_set_bytes, heap.size)
     hot_words = profile.hot_set_bytes // 8
@@ -182,14 +182,14 @@ def app_workload(
                 ops, rng, profile, sp, cursor_state, hot_words, heap, heap_span
             )
 
-    ops.append(Op(OpKind.RET, size=base_frame))
+    ops.ret(base_frame)
     return Trace(
-        ops, stack, heap_range=heap, name=profile.name, initial_sp=None
+        ops.to_array(), stack, heap_range=heap, name=profile.name, initial_sp=None
     )
 
 
 def _emit_hot_phase(
-    ops: list[Op],
+    ops: TraceBuilder,
     rng: np.random.Generator,
     profile: AppProfile,
     sp: int,
@@ -218,12 +218,23 @@ def _emit_hot_phase(
     )
     streams = len(cursor_state) - 1
     rr = cursor_state[-1]
+    read_kind = int(OpKind.READ)
+    write_kind = int(OpKind.WRITE)
+    to_stack_list = to_stack.tolist()
+    to_spill_list = to_spill.tolist()
+    stack_write_list = stack_is_write.tolist()
+    heap_write_list = heap_is_write.tolist()
+    steps_list = steps.tolist()
+    heap_offset_list = heap_offsets.tolist()
+    spill_offset_list = (
+        spill_offsets.tolist() if spill_offsets is not None else None
+    )
     for i in range(n):
-        if to_stack[i]:
-            kind = OpKind.WRITE if stack_is_write[i] else OpKind.READ
-            if spill_offsets is not None and to_spill[i]:
+        if to_stack_list[i]:
+            kind = write_kind if stack_write_list[i] else read_kind
+            if spill_offset_list is not None and to_spill_list[i]:
                 # Sparse touch in the spill area above the hot set.
-                address = sp + profile.hot_set_bytes + int(spill_offsets[i])
+                address = sp + profile.hot_set_bytes + spill_offset_list[i]
             else:
                 stream = cursor_state[rr]
                 rr = (rr + 1) % streams
@@ -232,21 +243,21 @@ def _emit_hot_phase(
                     cursor = (cursor + 1) % hot_words
                     remaining -= 1
                 else:
-                    cursor = int(cursor + steps[i]) % hot_words
+                    cursor = int(cursor + steps_list[i]) % hot_words
                     remaining = profile.hot_run_words - 1
                 stream[0] = cursor
                 stream[1] = remaining
                 address = sp + cursor * 8
-            ops.append(Op(kind, address, 8))
+            ops.append(kind, address, 8)
         else:
-            kind = OpKind.WRITE if heap_is_write[i] else OpKind.READ
-            ops.append(Op(kind, heap.start + int(heap_offsets[i]), 8))
-    ops.append(Op(OpKind.COMPUTE, size=40))
+            kind = write_kind if heap_write_list[i] else read_kind
+            ops.append(kind, heap.start + heap_offset_list[i], 8)
+    ops.compute(40)
     cursor_state[-1] = rr
 
 
 def _emit_excursion(
-    ops: list[Op],
+    ops: TraceBuilder,
     rng: np.random.Generator,
     profile: AppProfile,
     sp: int,
@@ -271,20 +282,22 @@ def _emit_excursion(
     heap_words = max(1, heap_span // 8)
     cur = sp
     for _ in range(depth):
-        ops.append(Op(OpKind.CALL, size=frame))
+        ops.call(frame)
         cur -= frame
         for k in range(profile.excursion_writes):
-            ops.append(Op(OpKind.WRITE, cur + 8 + k * 8, 8))
+            ops.write(cur + 8 + k * 8, 8)
         # A couple of reads of the caller frame (arguments).
-        ops.append(Op(OpKind.READ, cur + frame + 16, 8))
+        ops.read(cur + frame + 16, 8)
         if profile.excursion_heap_ops:
             offsets = rng.integers(0, heap_words, size=profile.excursion_heap_ops)
             is_write = rng.random(profile.excursion_heap_ops) < 0.45
-            for off, wr in zip(offsets, is_write):
-                kind = OpKind.WRITE if wr else OpKind.READ
-                ops.append(Op(kind, heap.start + int(off) * 8, 8))
+            ops.extend(
+                np.where(is_write, int(OpKind.WRITE), int(OpKind.READ)),
+                heap.start + offsets * 8,
+                8,
+            )
     for _ in range(depth):
-        ops.append(Op(OpKind.RET, size=frame))
+        ops.ret(frame)
 
 
 def gapbs_pr(target_ops: int = 200_000, seed: int = 42) -> Trace:
@@ -344,8 +357,8 @@ def ycsb_mem_phased(
     run = app_workload(run_profile, target_ops - load_ops, stack, heap, seed + 1)
     # Concatenate: strip the load phase's trailing base-frame RET and the
     # run phase's leading base-frame CALL so the resident frame persists.
-    ops = load.ops[:-1] + run.ops[1:]
-    return Trace(ops, stack, heap_range=heap, name="ycsb_mem_phased")
+    arr = np.concatenate([load.array[:-1], run.array[1:]])
+    return Trace(arr, stack, heap_range=heap, name="ycsb_mem_phased")
 
 
 def replace_profile(profile: AppProfile, **changes) -> AppProfile:

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cpu.ops import Op, OpKind
+from repro.cpu.ops import TraceBuilder
 from repro.memory.address import AddressRange
 from repro.workloads.synthetic import DEFAULT_HEAP, DEFAULT_STACK
 from repro.workloads.trace import Trace
@@ -49,7 +49,7 @@ def quicksort_workload(
     """
     rng = np.random.default_rng(seed)
     heap_base = heap.start
-    ops: list[Op] = []
+    ops = TraceBuilder()
     sp = stack.end
     values = rng.integers(0, 1_000_000, size=elements).astype(np.int64)
 
@@ -58,13 +58,13 @@ def quicksort_workload(
 
     def emit_frame_writes(frame_sp: int) -> None:
         for k in range(QSORT_LOCAL_WRITES):
-            ops.append(Op(OpKind.WRITE, frame_sp + 8 + k * 8, 8))
+            ops.write(frame_sp + 8 + k * 8, 8)
 
     def qsort(lo: int, hi: int) -> None:
         nonlocal sp
         if lo >= hi:
             return
-        ops.append(Op(OpKind.CALL, size=QSORT_FRAME_BYTES))
+        ops.call(QSORT_FRAME_BYTES)
         sp -= QSORT_FRAME_BYTES
         if sp < stack.start:
             raise RuntimeError("quicksort recursion exceeded the stack region")
@@ -72,33 +72,33 @@ def quicksort_workload(
 
         # Lomuto partition: read every element, swap when needed.
         pivot = values[hi]
-        ops.append(Op(OpKind.READ, element_addr(hi), element_bytes))
+        ops.read(element_addr(hi), element_bytes)
         i = lo - 1
         for j in range(lo, hi):
-            ops.append(Op(OpKind.READ, element_addr(j), element_bytes))
+            ops.read(element_addr(j), element_bytes)
             if values[j] <= pivot:
                 i += 1
                 if i != j:
                     values[i], values[j] = values[j], values[i]
-                    ops.append(Op(OpKind.WRITE, element_addr(i), element_bytes))
-                    ops.append(Op(OpKind.WRITE, element_addr(j), element_bytes))
+                    ops.write(element_addr(i), element_bytes)
+                    ops.write(element_addr(j), element_bytes)
         values[i + 1], values[hi] = values[hi], values[i + 1]
-        ops.append(Op(OpKind.WRITE, element_addr(i + 1), element_bytes))
-        ops.append(Op(OpKind.WRITE, element_addr(hi), element_bytes))
+        ops.write(element_addr(i + 1), element_bytes)
+        ops.write(element_addr(hi), element_bytes)
         p = i + 1
 
         qsort(lo, p - 1)
         qsort(p + 1, hi)
 
-        ops.append(Op(OpKind.RET, size=QSORT_FRAME_BYTES))
+        ops.ret(QSORT_FRAME_BYTES)
         sp += QSORT_FRAME_BYTES
 
     for round_index in range(max(1, repeats)):
         values = rng.integers(0, 1_000_000, size=elements).astype(np.int64)
         qsort(0, elements - 1)
         assert np.all(values[:-1] <= values[1:]), "quicksort trace did not sort"
-        ops.append(Op(OpKind.COMPUTE, size=200))
-    return Trace(ops, stack, heap_range=heap, name="quicksort")
+        ops.compute(200)
+    return Trace(ops.to_array(), stack, heap_range=heap, name="quicksort")
 
 
 def recursive_workload(
@@ -129,20 +129,20 @@ def recursive_workload(
             f"{descents} deepening cycles of {frame_bytes}B frames exceed "
             f"the stack region (max {max_cycles})"
         )
-    ops: list[Op] = []
+    ops = TraceBuilder()
     sp = stack.end
     net_depth = 0
     for _ in range(descents):
         for _level in range(depth):
-            ops.append(Op(OpKind.CALL, size=frame_bytes))
+            ops.call(frame_bytes)
             sp -= frame_bytes
             for k in range(writes_per_level):
-                ops.append(Op(OpKind.WRITE, sp + 8 + k * 8, 8))
+                ops.write(sp + 8 + k * 8, 8)
         for _level in range(depth - 1):
-            ops.append(Op(OpKind.RET, size=frame_bytes))
+            ops.ret(frame_bytes)
             sp += frame_bytes
         net_depth += 1
-        ops.append(Op(OpKind.COMPUTE, size=compute_gap_cycles))
+        ops.compute(compute_gap_cycles)
     for _ in range(net_depth):
-        ops.append(Op(OpKind.RET, size=frame_bytes))
-    return Trace(ops, stack, name=f"rec-{depth}")
+        ops.ret(frame_bytes)
+    return Trace(ops.to_array(), stack, name=f"rec-{depth}")

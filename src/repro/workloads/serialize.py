@@ -16,7 +16,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cpu.ops import array_to_ops, ops_to_array
+from repro.cpu.ops import TRACE_DTYPE
 from repro.memory.address import AddressRange
 from repro.workloads.trace import Trace
 
@@ -33,7 +33,7 @@ def save_trace(trace: Trace, path: str | Path) -> Path:
     np.savez_compressed(
         path,
         version=np.int64(FORMAT_VERSION),
-        ops=ops_to_array(trace.ops),
+        ops=trace.array,
         stack=np.array([trace.stack_range.start, trace.stack_range.end], dtype=np.int64),
         heap=np.array(
             [heap.start, heap.end] if heap is not None else [-1, -1],
@@ -64,8 +64,9 @@ def load_trace(path: str | Path) -> Trace:
             else None
         )
         initial_sp = int(data["initial_sp"])
+        ops = np.ascontiguousarray(data["ops"], dtype=TRACE_DTYPE)
         return Trace(
-            ops=array_to_ops(data["ops"]),
+            ops=ops,
             stack_range=stack,
             heap_range=heap,
             name=bytes(data["name"]).decode(),

@@ -13,7 +13,8 @@ behaviour across stack usage patterns:
   normal(63, 20) / Poisson(63) distribution, separated by compute blocks
   that increment a register one thousand times.
 
-Every generator is deterministic given its seed and returns a
+Every generator is deterministic given its seed, emits its op stream as a
+``TRACE_DTYPE`` numpy array (no per-op objects), and returns a
 :class:`~repro.workloads.trace.Trace`.
 """
 
@@ -21,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.cpu.ops import Op, OpKind
+from repro.cpu.ops import OpKind, TraceBuilder
 from repro.memory.address import AddressRange
 from repro.workloads.trace import Trace
 
@@ -32,14 +33,6 @@ DEFAULT_HEAP = AddressRange(0x1000_0000, 0x1100_0000)
 
 #: Compute block between write bursts: one thousand register increments.
 COMPUTE_BLOCK_CYCLES = 1000
-
-
-def _enter_frame(ops: list[Op], frame_bytes: int) -> None:
-    ops.append(Op(OpKind.CALL, size=frame_bytes))
-
-
-def _leave_frame(ops: list[Op], frame_bytes: int) -> None:
-    ops.append(Op(OpKind.RET, size=frame_bytes))
 
 
 def random_workload(
@@ -53,17 +46,20 @@ def random_workload(
     if array_bytes > stack.size:
         raise ValueError("array does not fit in the stack region")
     rng = np.random.default_rng(seed)
-    ops: list[Op] = []
     frame = array_bytes
-    _enter_frame(ops, frame)
     base = stack.end - frame
     offsets = rng.integers(0, array_bytes // 8, size=num_writes) * 8
     is_read = rng.random(num_writes) < read_fraction
-    for offset, read in zip(offsets, is_read):
-        kind = OpKind.READ if read else OpKind.WRITE
-        ops.append(Op(kind, base + int(offset), 8))
-    _leave_frame(ops, frame)
-    return Trace(ops, stack, name="random")
+
+    builder = TraceBuilder()
+    builder.call(frame)
+    builder.extend(
+        np.where(is_read, int(OpKind.READ), int(OpKind.WRITE)),
+        base + offsets,
+        8,
+    )
+    builder.ret(frame)
+    return Trace(builder.to_array(), stack, name="random")
 
 
 def stream_workload(
@@ -75,15 +71,16 @@ def stream_workload(
     """Sequential writes over the whole stack array, *passes* times."""
     if array_bytes > stack.size:
         raise ValueError("array does not fit in the stack region")
-    ops: list[Op] = []
     frame = array_bytes
-    _enter_frame(ops, frame)
     base = stack.end - frame
+    offsets = np.arange(0, array_bytes, 8, dtype=np.int64)
+
+    builder = TraceBuilder()
+    builder.call(frame)
     for _ in range(passes):
-        for offset in range(0, array_bytes, 8):
-            ops.append(Op(OpKind.WRITE, base + offset, 8))
-    _leave_frame(ops, frame)
-    return Trace(ops, stack, name="stream")
+        builder.extend(int(OpKind.WRITE), base + offsets, 8)
+    builder.ret(frame)
+    return Trace(builder.to_array(), stack, name="stream")
 
 
 def sparse_workload(
@@ -102,17 +99,18 @@ def sparse_workload(
     """
     if pages * page_bytes > stack.size:
         raise ValueError("recursion does not fit in the stack region")
-    ops: list[Op] = []
-    for _ in range(rounds):
-        sp = stack.end
-        for _level in range(pages):
-            _enter_frame(ops, page_bytes)
-            sp -= page_bytes
-            ops.append(Op(OpKind.WRITE, sp + 64, 4))
-        for _level in range(pages):
-            _leave_frame(ops, page_bytes)
-        ops.append(Op(OpKind.COMPUTE, size=COMPUTE_BLOCK_CYCLES))
-    return Trace(ops, stack, name="sparse")
+    # One round is a fixed op pattern; build it once and tile.
+    round_builder = TraceBuilder()
+    sp = stack.end
+    for _level in range(pages):
+        round_builder.call(page_bytes)
+        sp -= page_bytes
+        round_builder.write(sp + 64, 4)
+    for _level in range(pages):
+        round_builder.ret(page_bytes)
+    round_builder.compute(COMPUTE_BLOCK_CYCLES)
+    arr = np.tile(round_builder.to_array(), max(0, rounds))
+    return Trace(arr, stack, name="sparse")
 
 
 def _burst_workload(
@@ -131,20 +129,21 @@ def _burst_workload(
     what lets sub-page tracking beat page tracking on these workloads.
     """
     rng = np.random.default_rng(seed)
-    ops: list[Op] = []
     frame = working_set_bytes
-    _enter_frame(ops, frame)
     base = stack.end - frame
     words = working_set_bytes // 8
+
+    builder = TraceBuilder()
+    builder.call(frame)
     for burst in burst_sizes:
         count = int(max(0, burst))
         if count:
             start = int(rng.integers(0, max(1, words - count)))
-            for k in range(count):
-                ops.append(Op(OpKind.WRITE, base + (start + k) % words * 8, 8))
-        ops.append(Op(OpKind.COMPUTE, size=COMPUTE_BLOCK_CYCLES))
-    _leave_frame(ops, frame)
-    return Trace(ops, stack, name=name)
+            word_indices = (start + np.arange(count, dtype=np.int64)) % words
+            builder.extend(int(OpKind.WRITE), base + word_indices * 8, 8)
+        builder.compute(COMPUTE_BLOCK_CYCLES)
+    builder.ret(frame)
+    return Trace(builder.to_array(), stack, name=name)
 
 
 def normal_workload(

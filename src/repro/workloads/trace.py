@@ -1,19 +1,30 @@
 """Trace container and trace-level statistics.
 
-A :class:`Trace` couples a list of micro-operations with the address-space
-layout it was generated against (stack range, optional heap range) so an
+A :class:`Trace` couples an operation stream with the address-space layout
+it was generated against (stack range, optional heap range) so an
 experiment can build a matching engine without re-deriving layout.  The
 statistics here power the motivation figures (stack-op fraction for Fig. 1,
 writes beyond the final SP for Fig. 2, page- vs byte-granularity copy size
 for Fig. 4) directly from a trace, without running the timing model.
+
+The canonical storage is a ``TRACE_DTYPE`` structured numpy array — what
+the generators emit and what the batched engine consumes.  A ``list[Op]``
+view is materialized lazily for code that still walks ops one by one (the
+scalar reference engine, ad-hoc analyses); constructing a ``Trace`` from a
+list of ops remains supported and packs the array on demand.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.cpu.ops import Op, OpKind
-from repro.memory.address import AddressRange, span_granules, span_pages
+import numpy as np
+
+from repro.cpu.ops import TRACE_DTYPE, Op, OpKind, array_to_ops, ops_to_array
+from repro.memory.address import AddressRange
+
+_CALL = int(OpKind.CALL)
+_RET = int(OpKind.RET)
 
 
 @dataclass
@@ -42,23 +53,69 @@ class TraceStats:
         return self.stack_writes / writes if writes else 0.0
 
 
-@dataclass
 class Trace:
-    """A generated workload: operations plus the layout they assume."""
+    """A generated workload: operations plus the layout they assume.
 
-    ops: list[Op]
-    stack_range: AddressRange
-    heap_range: AddressRange | None = None
-    name: str = "trace"
-    #: Initial SP (top of stack); generators may start below the top.
-    initial_sp: int | None = None
-    _stats: TraceStats | None = field(default=None, repr=False)
+    *ops* may be a ``TRACE_DTYPE`` structured array (the native generator
+    output) or a sequence of :class:`Op` records; either view is derived
+    from the other lazily and cached.
+    """
+
+    __slots__ = ("_array", "_ops", "stack_range", "heap_range", "name",
+                 "initial_sp", "_stats")
+
+    def __init__(
+        self,
+        ops,
+        stack_range: AddressRange,
+        heap_range: AddressRange | None = None,
+        name: str = "trace",
+        initial_sp: int | None = None,
+    ) -> None:
+        if isinstance(ops, np.ndarray):
+            if ops.dtype != TRACE_DTYPE:
+                raise TypeError(
+                    f"trace array must have TRACE_DTYPE, got {ops.dtype}"
+                )
+            self._array: np.ndarray | None = ops
+            self._ops: list[Op] | None = None
+        else:
+            self._ops = list(ops)
+            self._array = None
+        self.stack_range = stack_range
+        self.heap_range = heap_range
+        self.name = name
+        #: Initial SP (top of stack); generators may start below the top.
+        self.initial_sp = initial_sp
+        self._stats: TraceStats | None = None
+
+    @property
+    def array(self) -> np.ndarray:
+        """The canonical ``TRACE_DTYPE`` array of the op stream."""
+        if self._array is None:
+            self._array = ops_to_array(self._ops)
+        return self._array
+
+    @property
+    def ops(self) -> list[Op]:
+        """Materialized :class:`Op` view (lazy; prefer :attr:`array`)."""
+        if self._ops is None:
+            self._ops = array_to_ops(self._array)
+        return self._ops
 
     def __len__(self) -> int:
-        return len(self.ops)
+        if self._array is not None:
+            return len(self._array)
+        return len(self._ops)
 
     def __iter__(self):
         return iter(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Trace(name={self.name!r}, ops={len(self)}, "
+            f"stack_range={self.stack_range!r})"
+        )
 
     @property
     def stats(self) -> TraceStats:
@@ -67,26 +124,60 @@ class Trace:
         return self._stats
 
     def _compute_stats(self) -> TraceStats:
-        stats = TraceStats(total_ops=len(self.ops))
+        arr = self.array
+        kinds = arr["kind"]
+        addrs = arr["address"]
         stack = self.stack_range
-        for op in self.ops:
-            if op.kind == OpKind.READ:
-                stats.memory_ops += 1
-                if stack.contains(op.address):
-                    stats.stack_reads += 1
-                else:
-                    stats.other_reads += 1
-            elif op.kind == OpKind.WRITE:
-                stats.memory_ops += 1
-                if stack.contains(op.address):
-                    stats.stack_writes += 1
-                else:
-                    stats.other_writes += 1
-        return stats
+        in_stack = (addrs >= stack.start) & (addrs < stack.end)
+        is_read = kinds == int(OpKind.READ)
+        is_write = kinds == int(OpKind.WRITE)
+        stack_reads = int(np.count_nonzero(is_read & in_stack))
+        stack_writes = int(np.count_nonzero(is_write & in_stack))
+        reads = int(np.count_nonzero(is_read))
+        writes = int(np.count_nonzero(is_write))
+        return TraceStats(
+            total_ops=len(arr),
+            memory_ops=reads + writes,
+            stack_reads=stack_reads,
+            stack_writes=stack_writes,
+            other_reads=reads - stack_reads,
+            other_writes=writes - stack_writes,
+        )
 
     # ------------------------------------------------------------------ #
     # Interval-based trace analysis (motivation experiments)
     # ------------------------------------------------------------------ #
+
+    def _interval_bounds(self, num_intervals: int) -> list[tuple[int, int]]:
+        """Half-open index bounds of the equal-op interval chunks.
+
+        Mirrors the historical list-slicing behaviour exactly: a trailing
+        remainder shorter than one chunk is dropped.
+        """
+        if num_intervals <= 0:
+            raise ValueError("num_intervals must be positive")
+        n = len(self)
+        chunk = max(1, n // num_intervals)
+        bounds = []
+        for i in range(num_intervals):
+            lo = min(i * chunk, n)
+            hi = min(lo + chunk, n)
+            if hi > lo:
+                bounds.append((lo, hi))
+        return bounds
+
+    def _sp_path(self) -> np.ndarray:
+        """SP value after each op (CALL pushes, RET pops, others hold)."""
+        arr = self.array
+        kinds = arr["kind"]
+        sizes = arr["size"].astype(np.int64)
+        delta = np.zeros(len(arr), dtype=np.int64)
+        calls = kinds == _CALL
+        rets = kinds == _RET
+        delta[calls] = -sizes[calls]
+        delta[rets] = sizes[rets]
+        sp0 = self.initial_sp if self.initial_sp is not None else self.stack_range.end
+        return sp0 + np.cumsum(delta)
 
     def split_intervals(self, num_intervals: int) -> list[list[Op]]:
         """Split ops into *num_intervals* equal chunks (trace-time intervals).
@@ -95,14 +186,8 @@ class Trace:
         simulated cycles; equal op chunks approximate equal time slices for
         the steady-state workloads involved.
         """
-        if num_intervals <= 0:
-            raise ValueError("num_intervals must be positive")
-        chunk = max(1, len(self.ops) // num_intervals)
-        return [
-            self.ops[i * chunk: (i + 1) * chunk]
-            for i in range(num_intervals)
-            if self.ops[i * chunk: (i + 1) * chunk]
-        ]
+        ops = self.ops
+        return [ops[lo:hi] for lo, hi in self._interval_bounds(num_intervals)]
 
     def writes_beyond_final_sp(self, num_intervals: int) -> list[tuple[int, int]]:
         """Per interval: (total stack writes, writes below the final SP).
@@ -112,33 +197,32 @@ class Trace:
         writes to frames already popped, the waste SP-unaware mechanisms do
         (Figure 2).
         """
-        sp = self.initial_sp if self.initial_sp is not None else self.stack_range.end
+        bounds = self._interval_bounds(num_intervals)
+        arr = self.array
+        addrs = arr["address"].astype(np.int64)
+        stack = self.stack_range
+        stack_write = (
+            (arr["kind"] == int(OpKind.WRITE))
+            & (addrs >= stack.start)
+            & (addrs < stack.end)
+        )
+        path = self._sp_path()
         results: list[tuple[int, int]] = []
-        for chunk in self.split_intervals(num_intervals):
-            write_addresses: list[int] = []
-            for op in chunk:
-                if op.kind == OpKind.CALL:
-                    sp -= op.size
-                elif op.kind == OpKind.RET:
-                    sp += op.size
-                elif op.kind == OpKind.WRITE and self.stack_range.contains(op.address):
-                    write_addresses.append(op.address)
-            beyond = sum(1 for a in write_addresses if a < sp)
-            results.append((len(write_addresses), beyond))
+        for lo, hi in bounds:
+            final_sp = int(path[hi - 1])
+            write_addrs = addrs[lo:hi][stack_write[lo:hi]]
+            results.append(
+                (
+                    len(write_addrs),
+                    int(np.count_nonzero(write_addrs < final_sp)),
+                )
+            )
         return results
 
     def final_sp_per_interval(self, num_intervals: int) -> list[int]:
         """SP value at the end of each trace-time interval (the SP oracle)."""
-        sp = self.initial_sp if self.initial_sp is not None else self.stack_range.end
-        finals: list[int] = []
-        for chunk in self.split_intervals(num_intervals):
-            for op in chunk:
-                if op.kind == OpKind.CALL:
-                    sp -= op.size
-                elif op.kind == OpKind.RET:
-                    sp += op.size
-            finals.append(sp)
-        return finals
+        path = self._sp_path()
+        return [int(path[hi - 1]) for _, hi in self._interval_bounds(num_intervals)]
 
     def copy_sizes(
         self, num_intervals: int, granularity: int
@@ -148,14 +232,33 @@ class Trace:
         *granularity* may be a sub-page granule (8..128) or the page size —
         the same post-processing the paper applies for Figure 4.
         """
-        sizes: list[int] = []
-        for chunk in self.split_intervals(num_intervals):
-            dirty: set[int] = set()
-            for op in chunk:
-                if op.kind == OpKind.WRITE and self.stack_range.contains(op.address):
-                    if granularity >= 4096:
-                        dirty.update(span_pages(op.address, op.size, granularity))
-                    else:
-                        dirty.update(span_granules(op.address, op.size, granularity))
-            sizes.append(len(dirty) * granularity)
-        return sizes
+        if granularity <= 0:
+            raise ValueError("granularity must be positive")
+        arr = self.array
+        addrs = arr["address"].astype(np.int64)
+        sizes = arr["size"].astype(np.int64)
+        stack = self.stack_range
+        stack_write = (
+            (arr["kind"] == int(OpKind.WRITE))
+            & (addrs >= stack.start)
+            & (addrs < stack.end)
+            & (sizes > 0)
+        )
+        firsts_all = addrs // granularity
+        lasts_all = (addrs + sizes - 1) // granularity
+        out: list[int] = []
+        for lo, hi in self._interval_bounds(num_intervals):
+            mask = stack_write[lo:hi]
+            firsts = firsts_all[lo:hi][mask]
+            lasts = lasts_all[lo:hi][mask]
+            if not len(firsts):
+                out.append(0)
+                continue
+            pieces = [firsts, lasts]
+            # Accesses spanning 3+ granules (rare) need their interior runs.
+            wide = lasts - firsts > 1
+            for f, l in zip(firsts[wide].tolist(), lasts[wide].tolist()):
+                pieces.append(np.arange(f + 1, l, dtype=np.int64))
+            dirty = np.unique(np.concatenate(pieces))
+            out.append(len(dirty) * granularity)
+        return out

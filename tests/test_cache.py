@@ -99,8 +99,8 @@ class TestProperties:
         for line, is_write in accesses:
             cache.access(line, is_write)
         assert cache.resident_lines <= 8
-        for s in cache._sets:
-            assert len(s) <= 2
+        for s in range(4):
+            assert cache.set_occupancy(s) <= 2
 
     @given(st.lists(st.integers(0, 31), min_size=1, max_size=200))
     def test_most_recent_line_always_resident(self, lines):

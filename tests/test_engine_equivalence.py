@@ -1,0 +1,300 @@
+"""Differential suite: the batched engine against the scalar oracle.
+
+The batched engine (:mod:`repro.cpu.engine_fast`) must be *byte-identical*
+to the scalar reference, not approximately equal: every figure in the
+paper reproduction is a ratio of cycle counts, so a single divergent
+cache miss or mechanism hook would silently skew results.  These tests
+run every figure's representative workload through both engines under
+every mechanism family and compare full state snapshots — engine stats,
+interval records, mechanism counters, per-level cache stats, device
+stats, TLB stats, and final register state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import setup_i, setup_ii
+from repro.cpu.engine import ExecutionEngine
+from repro.cpu.engine_fast import BatchedExecutionEngine
+from repro.cpu.ops import Op, OpKind, TraceBuilder, array_to_ops, ops_to_array
+from repro.memory.address import AddressRange
+from repro.memory.tlb import TlbConfig
+from repro.persistence.dirtybit import DirtyBitPersistence
+from repro.persistence.logging import (
+    FlushPersistence,
+    RedoLogPersistence,
+    UndoLogPersistence,
+)
+from repro.persistence.none import NoPersistence
+from repro.persistence.prosper import ProsperPersistence
+from repro.persistence.ssp import SspPersistence
+from repro.workloads.apps import g500_sssp, gapbs_pr, ycsb_mem, ycsb_mem_phased
+from repro.workloads.callstack import quicksort_workload, recursive_workload
+from repro.workloads.spec import spec_workload
+from repro.workloads.synthetic import (
+    normal_workload,
+    poisson_workload,
+    random_workload,
+    sparse_workload,
+    stream_workload,
+)
+from repro.workloads.trace import Trace
+
+#: Trace length for the differential runs: several vectorization chunks
+#: (CHUNK_OPS = 4096) so chunk-boundary handling is exercised.
+OPS = 20_000
+
+
+def _stats_dict(stats) -> object:
+    if dataclasses.is_dataclass(stats):
+        return dataclasses.asdict(stats)
+    return repr(stats)
+
+
+def snapshot(engine: ExecutionEngine, stats) -> dict:
+    """Full observable state of a finished run."""
+    hierarchy = engine.hierarchy
+    return {
+        "engine": _stats_dict(stats),
+        "now": engine.now,
+        "stack_pointer": engine.registers.stack_pointer,
+        "op_index": engine.registers.op_index,
+        "mechanism": _stats_dict(engine.mechanism.stats),
+        "heap_mechanism": (
+            _stats_dict(engine.heap_mechanism.stats)
+            if engine.heap_mechanism is not None
+            else None
+        ),
+        "caches": {
+            level.name: _stats_dict(level.stats)
+            for level in (hierarchy.l1, hierarchy.l2, hierarchy.l3)
+        },
+        "dram": _stats_dict(hierarchy.dram.stats),
+        "nvm": (
+            _stats_dict(hierarchy.nvm.stats) if hierarchy.nvm is not None else None
+        ),
+        "tlb": _stats_dict(engine.tlb.stats) if engine.tlb is not None else None,
+    }
+
+
+def run_both(
+    trace: Trace,
+    mechanism_factory=NoPersistence,
+    config_factory=setup_i,
+    heap_factory=None,
+    **run_kwargs,
+) -> tuple[dict, dict]:
+    """Run *trace* through both engines with freshly built state each."""
+    results = []
+    for engine_cls in (ExecutionEngine, BatchedExecutionEngine):
+        engine = engine_cls(
+            config=config_factory(),
+            stack_range=trace.stack_range,
+            mechanism=mechanism_factory(),
+            heap_range=trace.heap_range,
+            heap_mechanism=heap_factory() if heap_factory is not None else None,
+        )
+        stats = engine.run(trace, **run_kwargs)
+        results.append(snapshot(engine, stats))
+    return results[0], results[1]
+
+
+def assert_equivalent(trace, **kwargs) -> None:
+    scalar, batched = run_both(trace, **kwargs)
+    assert batched == scalar
+
+
+WORKLOADS = {
+    "random": lambda: random_workload(OPS, seed=7),
+    "stream": lambda: stream_workload(OPS, seed=7),
+    "sparse": lambda: sparse_workload(rounds=100, seed=7),
+    "normal": lambda: normal_workload(OPS, seed=7),
+    "poisson": lambda: poisson_workload(OPS, seed=7),
+    "quicksort": lambda: quicksort_workload(seed=7),
+    "recursive": lambda: recursive_workload(descents=250, seed=7),
+    "gapbs_pr": lambda: gapbs_pr(OPS, seed=7),
+    "g500_sssp": lambda: g500_sssp(OPS, seed=7),
+    "ycsb_mem": lambda: ycsb_mem(OPS, seed=7),
+    "ycsb_phased": lambda: ycsb_mem_phased(OPS, seed=7),
+    "spec_mcf": lambda: spec_workload("605.mcf_s", OPS, seed=7),
+}
+
+MECHANISMS = {
+    "none": NoPersistence,
+    "prosper": ProsperPersistence,
+    "dirtybit": DirtyBitPersistence,
+    "ssp": SspPersistence,
+    "flush": FlushPersistence,
+    "undo": UndoLogPersistence,
+    "redo": RedoLogPersistence,
+}
+
+
+class TestWorkloadCoverage:
+    """Every figure's representative workload, under the paper's headline
+    mechanism (Prosper) with wall-clock intervals."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_prosper_interval_cycles(self, workload):
+        assert_equivalent(
+            WORKLOADS[workload](),
+            mechanism_factory=ProsperPersistence,
+            interval_cycles=25_000,
+        )
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_vanilla_no_intervals(self, workload):
+        assert_equivalent(WORKLOADS[workload]())
+
+
+class TestMechanismCoverage:
+    """Every mechanism family on one call-heavy and one app workload, in
+    both interval modes."""
+
+    @pytest.mark.parametrize("mechanism", sorted(MECHANISMS))
+    def test_interval_cycles(self, mechanism):
+        assert_equivalent(
+            gapbs_pr(OPS, seed=11),
+            mechanism_factory=MECHANISMS[mechanism],
+            interval_cycles=25_000,
+        )
+
+    @pytest.mark.parametrize("mechanism", sorted(MECHANISMS))
+    def test_interval_ops(self, mechanism):
+        assert_equivalent(
+            quicksort_workload(seed=11),
+            mechanism_factory=MECHANISMS[mechanism],
+            interval_ops=1_500,
+        )
+
+
+class TestConfigurationCorners:
+    def test_setup_ii(self):
+        assert_equivalent(
+            ycsb_mem(OPS, seed=3),
+            mechanism_factory=ProsperPersistence,
+            config_factory=setup_ii,
+            interval_cycles=25_000,
+        )
+
+    def test_tlb_enabled(self):
+        def config():
+            return dataclasses.replace(setup_i(), tlb=TlbConfig())
+
+        assert_equivalent(
+            gapbs_pr(OPS, seed=3),
+            mechanism_factory=ProsperPersistence,
+            config_factory=config,
+            interval_cycles=25_000,
+        )
+
+    def test_heap_mechanism(self):
+        assert_equivalent(
+            ycsb_mem(OPS, seed=3),
+            mechanism_factory=ProsperPersistence,
+            heap_factory=DirtyBitPersistence,
+            interval_cycles=25_000,
+        )
+
+    def test_no_final_checkpoint(self):
+        assert_equivalent(
+            gapbs_pr(OPS, seed=3),
+            mechanism_factory=ProsperPersistence,
+            interval_cycles=25_000,
+            final_checkpoint=False,
+        )
+
+    def test_interval_longer_than_trace(self):
+        # Only the trailing partial interval ever commits.
+        assert_equivalent(
+            random_workload(2_000, seed=3),
+            mechanism_factory=ProsperPersistence,
+            interval_cycles=10**9,
+        )
+
+    def test_interval_ops_unaligned_with_chunks(self):
+        # interval_ops prime relative to CHUNK_OPS: boundaries land
+        # mid-chunk and straddle chunk edges.
+        assert_equivalent(
+            stream_workload(OPS, seed=3),
+            mechanism_factory=DirtyBitPersistence,
+            interval_ops=997,
+        )
+
+    def test_scalar_engine_still_selectable(self):
+        from repro.experiments.runner import engine_class
+
+        assert engine_class(dataclasses.replace(setup_i(), engine="scalar")) is (
+            ExecutionEngine
+        )
+        assert engine_class(setup_i()) is BatchedExecutionEngine
+
+    def test_unknown_engine_rejected(self):
+        from repro.experiments.runner import engine_class
+
+        with pytest.raises(ValueError, match="unknown engine mode"):
+            engine_class(dataclasses.replace(setup_i(), engine="turbo"))
+
+
+def _overflowing_trace() -> Trace:
+    stack = AddressRange(0x7000_0000, 0x7000_0400)  # 1 KiB stack
+    ops = TraceBuilder()
+    for _ in range(6):
+        ops.call(256)
+        ops.write(stack.end - 8)
+    return Trace(ops.to_array(), stack)
+
+
+class TestFaultEquivalence:
+    def test_stack_overflow_identical(self):
+        trace = _overflowing_trace()
+        outcomes = []
+        for engine_cls in (ExecutionEngine, BatchedExecutionEngine):
+            engine = engine_cls(stack_range=trace.stack_range)
+            with pytest.raises(RuntimeError) as excinfo:
+                engine.run(trace, interval_cycles=50)
+            outcomes.append((str(excinfo.value), snapshot(engine, engine.stats)))
+        assert outcomes[0] == outcomes[1]
+
+    @pytest.mark.parametrize("engine_cls", [ExecutionEngine, BatchedExecutionEngine])
+    def test_invalid_arguments(self, engine_cls):
+        engine = engine_cls(stack_range=AddressRange(0, 4096))
+        with pytest.raises(ValueError):
+            engine.run([], interval_cycles=-1)
+        with pytest.raises(ValueError):
+            engine.run([], interval_ops=0)
+
+
+_OPS_STRATEGY = st.lists(
+    st.builds(
+        Op,
+        kind=st.sampled_from(list(OpKind)),
+        address=st.integers(min_value=0, max_value=2**64 - 1),
+        size=st.integers(min_value=0, max_value=2**32 - 1),
+    ),
+    max_size=128,
+)
+
+
+class TestArrayRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_OPS_STRATEGY)
+    def test_ops_array_round_trip(self, ops):
+        assert array_to_ops(ops_to_array(ops)) == ops
+
+    @settings(max_examples=60, deadline=None)
+    @given(_OPS_STRATEGY)
+    def test_trace_builder_matches_ops_to_array(self, ops):
+        builder = TraceBuilder()
+        for op in ops:
+            builder.append(int(op.kind), op.address, op.size)
+        assert len(builder) == len(ops)
+        built = builder.to_array()
+        reference = ops_to_array(ops)
+        assert built.dtype == reference.dtype
+        assert built.tobytes() == reference.tobytes()
