@@ -18,6 +18,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.core.bitops import popcount_u32
 from repro.memory.address import AddressRange
 
 #: Bits per bitmap word (matches the lookup-table bitmap-value width).
@@ -108,6 +109,25 @@ class DirtyBitmap:
             return True
         return False
 
+    def merge_words(self, word_indices: np.ndarray, accumulated: np.ndarray) -> int:
+        """Vectorized Accumulate-and-Apply merge of several distinct words.
+
+        Semantically identical to calling :meth:`merge_word` once per
+        (index, value) pair — *word_indices* must be distinct, which the
+        lookup table guarantees (it holds at most one entry per word).
+        Returns how many words actually changed (stores required); the rest
+        can be elided.
+        """
+        old = self._words[word_indices]
+        new = old | accumulated.astype(np.uint32)
+        changed = new != old
+        self._words[word_indices] = new
+        return int(np.count_nonzero(changed))
+
+    def store_words(self, word_indices: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized Load-and-Update write-out of several distinct words."""
+        self._words[word_indices] = values.astype(np.uint32)
+
     # ------------------------------------------------------------------ #
     # OS-side inspection and maintenance
     # ------------------------------------------------------------------ #
@@ -122,8 +142,19 @@ class DirtyBitmap:
             return
         first = self.granule_of(address)
         last = self.granule_of(min(address + size - 1, self.region.end - 1))
-        for granule in range(first, last + 1):
-            self._words[granule // WORD_BITS] |= np.uint32(1 << (granule % WORD_BITS))
+        first_word, last_word = first // WORD_BITS, last // WORD_BITS
+        lo_bit = first % WORD_BITS
+        hi_bit = last % WORD_BITS
+        if first_word == last_word:
+            mask = ((1 << (last - first + 1)) - 1) << lo_bit
+            self._words[first_word] |= np.uint32(mask)
+            return
+        # Partial first word, full middle words (one slice write), partial
+        # last word — O(words) numpy stores instead of O(granules) Python.
+        self._words[first_word] |= np.uint32((0xFFFF_FFFF << lo_bit) & 0xFFFF_FFFF)
+        if last_word - first_word > 1:
+            self._words[first_word + 1 : last_word] |= np.uint32(0xFFFF_FFFF)
+        self._words[last_word] |= np.uint32((1 << (hi_bit + 1)) - 1)
 
     def is_dirty(self, address: int) -> bool:
         """True when the granule containing *address* is marked dirty."""
@@ -131,10 +162,12 @@ class DirtyBitmap:
         return bool(self._words[granule // WORD_BITS] >> (granule % WORD_BITS) & 1)
 
     def dirty_granule_count(self) -> int:
-        """Total set bits (population count across all words)."""
-        return int(
-            np.unpackbits(self._words.view(np.uint8)).sum()
-        )
+        """Total set bits (population count across all words).
+
+        Two LUT gathers over the word array — no per-call ``unpackbits``
+        allocation of ``32 * num_words`` bytes.
+        """
+        return int(popcount_u32(self._words).sum())
 
     def words_touched(self, active_low: int | None = None) -> int:
         """Number of bitmap words covering ``[active_low, region.end)``.
@@ -148,12 +181,14 @@ class DirtyBitmap:
         first_granule = (active_low - self.region.start) // self.granularity
         return self.num_words - first_granule // WORD_BITS
 
-    def iter_dirty_runs(self, active_low: int | None = None) -> Iterator[DirtyRun]:
-        """Yield maximal contiguous dirty byte-ranges, low address first.
+    def dirty_run_bounds(
+        self, active_low: int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Maximal contiguous dirty byte-ranges as ``(starts, ends)`` arrays.
 
-        Contiguous set bits are coalesced into one run (Section III-A: "the
-        OS looks for coalescing opportunities"), so one run becomes one copy
-        operation at checkpoint time.
+        The columnar form of :meth:`iter_dirty_runs`: the checkpoint engine
+        clips, filters, and sums these bounds with numpy instead of walking
+        ``DirtyRun`` objects one at a time.
         """
         start_granule = 0
         if active_low is not None and active_low > self.region.start:
@@ -165,17 +200,26 @@ class DirtyBitmap:
         if start_granule:
             bits = bits[start_granule:]
         if not bits.any():
-            return
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
 
         # Find run boundaries via the discrete difference of the bit vector.
         padded = np.concatenate(([0], bits, [0]))
         edges = np.flatnonzero(np.diff(padded))
-        starts, ends = edges[0::2], edges[1::2]
         base = self.region.start + start_granule * self.granularity
-        for s, e in zip(starts, ends):
-            run_start = base + int(s) * self.granularity
-            run_end = min(base + int(e) * self.granularity, self.region.end)
-            yield DirtyRun(run_start, run_end)
+        bounds = base + edges.astype(np.int64) * self.granularity
+        return bounds[0::2], np.minimum(bounds[1::2], self.region.end)
+
+    def iter_dirty_runs(self, active_low: int | None = None) -> Iterator[DirtyRun]:
+        """Yield maximal contiguous dirty byte-ranges, low address first.
+
+        Contiguous set bits are coalesced into one run (Section III-A: "the
+        OS looks for coalescing opportunities"), so one run becomes one copy
+        operation at checkpoint time.
+        """
+        starts, ends = self.dirty_run_bounds(active_low)
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            yield DirtyRun(s, e)
 
     def clear(self, active_low: int | None = None) -> int:
         """Clear dirty bits; returns the number of words written.

@@ -1,0 +1,62 @@
+"""Shared bit-manipulation helpers for the tracking metadata hot path.
+
+The dirty bitmap and the coalescing lookup table both spend their time
+counting set bits in 32-bit words.  Python has no cheap scalar popcount
+before ``int.bit_count`` (3.10+, which this repo does not assume), and the
+historical ``bin(value).count("1")`` implementation allocates a string per
+call — visible in profiles of the dirty-tracking path.  This module builds
+one 16-bit popcount lookup table at import time and exposes:
+
+* :func:`popcount_int` — scalar popcount of an arbitrary non-negative int;
+* :func:`popcount_u32` — vectorized popcount over a ``uint32``-compatible
+  numpy array (two LUT gathers and an add, no per-element Python work).
+
+Both are exact replacements, used by :mod:`repro.core.bitmap` and
+:mod:`repro.core.lookup_table`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Popcount of every 16-bit value.  Built vectorized (SWAR reduction) so
+#: importing this module costs microseconds, not a 65536-iteration loop.
+POPCOUNT16: np.ndarray
+
+
+def _build_lut() -> np.ndarray:
+    v = np.arange(1 << 16, dtype=np.uint32)
+    v = v - ((v >> 1) & 0x5555)
+    v = (v & 0x3333) + ((v >> 2) & 0x3333)
+    v = (v + (v >> 4)) & 0x0F0F
+    v = (v + (v >> 8)) & 0x001F
+    return v.astype(np.uint16)
+
+
+POPCOUNT16 = _build_lut()
+#: Plain-list view of the LUT: indexing a Python list with a Python int is
+#: several times faster than indexing the ndarray in scalar code.
+_POPCOUNT16_LIST: list[int] = POPCOUNT16.tolist()
+
+
+def popcount_int(value: int) -> int:
+    """Number of set bits in a non-negative integer of any width."""
+    lut = _POPCOUNT16_LIST
+    total = 0
+    while value:
+        total += lut[value & 0xFFFF]
+        value >>= 16
+    return total
+
+
+def popcount_u32(words: np.ndarray) -> np.ndarray:
+    """Per-element popcount of an array of 32-bit non-negative values.
+
+    Accepts any integer dtype whose values fit in ``uint32``; returns an
+    ``int64`` array of the same shape.
+    """
+    w = words.astype(np.int64, copy=False)
+    return (
+        POPCOUNT16[w & 0xFFFF].astype(np.int64)
+        + POPCOUNT16[(w >> 16) & 0xFFFF]
+    )

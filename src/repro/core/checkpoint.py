@@ -36,6 +36,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
+import numpy as np
+
 from repro.core.bitmap import DirtyBitmap, DirtyRun
 from repro.core.tracker import ProsperTracker
 from repro.faults.injector import (
@@ -210,23 +212,23 @@ class ProsperCheckpointEngine:
         self.tracker.poll_quiescent()
 
         # Step 2 — bounded bitmap inspection (streamed a cache line at a
-        # time; zero words are skipped cheaply).
+        # time; zero words are skipped cheaply).  The run bounds come out
+        # of the bitmap columnar; clipping and size accounting stay in
+        # numpy until the per-run staging records are built.
         active_low = self._active_low(active_low_hint)
         words = self.bitmap.words_touched(active_low)
         cycles += (
             -(-words // WORDS_PER_BITMAP_LINE) * INSPECT_CYCLES_PER_LINE
         )
-        runs = list(self.bitmap.iter_dirty_runs(active_low))
+        starts, ends = self.bitmap.dirty_run_bounds(active_low)
         if final_sp is not None and final_sp > self.bitmap.region.start:
             # SP awareness: clip every run to the live region [final_sp,
             # top).  Bits below final_sp belong to dead frames; the walk
             # still clears them (at commit) so they cannot leak into a
             # later checkpoint.
-            runs = [
-                DirtyRun(max(run.start, final_sp), run.end)
-                for run in runs
-                if run.end > final_sp
-            ]
+            live = ends > final_sp
+            starts = np.maximum(starts[live], final_sp)
+            ends = ends[live]
 
         # Step 3 — copy dirty runs into the NVM staging buffer.  The
         # staging descriptor (run count) lands first; each run is then
@@ -234,21 +236,23 @@ class ProsperCheckpointEngine:
         # latency for the batch, plus bandwidth-limited streaming of the
         # bytes and a small software setup cost per run.
         self._reached(STAGE_BEGIN)
+        num_runs = len(starts)
         staged = StagedCheckpoint(
-            interval_index, expected_runs=len(runs), active_low=active_low
+            interval_index, expected_runs=num_runs, active_low=active_low
         )
         self.staged = staged
-        cycles += len(runs) * PER_RUN_SETUP_CYCLES
-        copied = 0
-        for index, run in enumerate(runs):
+        cycles += num_runs * PER_RUN_SETUP_CYCLES
+        copied = int((ends - starts).sum())
+        reader = self.content_reader
+        starts_list = starts.tolist()
+        ends_list = ends.tolist()
+        for index in range(num_runs):
             self._reached(stage_run_copy(index))
-            payload = (
-                tuple(self.content_reader(run)) if self.content_reader else ()
-            )
+            run = DirtyRun(starts_list[index], ends_list[index])
+            payload = tuple(reader(run)) if reader else ()
             staged.staged_runs.append(
                 StagedRun(run, staged_run_crc(run, payload), payload)
             )
-            copied += run.size
         retries = 0
         if copied:
             copy = self.hierarchy.reliable_copy_dram_to_nvm(
@@ -261,7 +265,7 @@ class ProsperCheckpointEngine:
                 # corrupt its staged record so only the CRC can tell.
                 self._tear(staged.staged_runs[-1])
         self._reached(STAGE_COMPLETE)
-        return StageResult(cycles, copied, len(runs), words, retries)
+        return StageResult(cycles, copied, num_runs, words, retries)
 
     @staticmethod
     def _tear(staged_run: StagedRun) -> None:

@@ -19,21 +19,38 @@ Load-and-Update the load happens at allocation instead.
 
 The table counts its bitmap loads and stores — exactly the quantities
 Figure 13 sweeps against HWM and LWM.
+
+Storage is columnar: entry fields live in flat numpy arrays
+(``word``/``value``/``pops``/``last_use``) indexed by slot, with a
+word→slot dict for the associative probe.  That keeps the per-record path
+free of per-entry object allocation and lets :meth:`LookupTable.record_batch`
+and :meth:`LookupTable.flush` process whole runs of updates as array
+operations.  All observable behavior — stats, eviction choices, the RNG
+stream of random evictions, bitmap contents — is identical to the
+historical per-``_Entry``-dataclass implementation.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.config import TrackerConfig
 from repro.core.bitmap import DirtyBitmap
+from repro.core.bitops import popcount_int, popcount_u32
 from repro.core.policies import AllocationPolicy
+
+from dataclasses import dataclass
 
 
 def popcount(value: int) -> int:
-    """Number of set bits in a non-negative integer."""
-    return bin(value).count("1")
+    """Number of set bits in a non-negative integer.
+
+    Thin wrapper over the shared 16-bit-LUT helper
+    (:func:`repro.core.bitops.popcount_int`), kept for API compatibility.
+    """
+    return popcount_int(value)
 
 
 @dataclass
@@ -60,17 +77,6 @@ class TableStats:
             setattr(self, name, 0)
 
 
-@dataclass
-class _Entry:
-    """One lookup-table entry: accumulated bits for a bitmap word."""
-
-    word_index: int
-    value: int = 0
-    pops: int = field(default=0, repr=False)  # cached popcount of value
-    #: Sequence number of the last update (pseudo-LRU for eviction).
-    last_use: int = field(default=0, repr=False)
-
-
 class LookupTable:
     """Coalescing cache between the SOI filter and the bitmap area."""
 
@@ -83,19 +89,28 @@ class LookupTable:
         self.config = config
         self.policy = policy
         self.stats = TableStats()
-        self._entries: dict[int, _Entry] = {}
+        capacity = config.lookup_table_entries
+        # Columnar entry storage, indexed by slot.  ``_slot_of`` preserves
+        # entry *insertion order* (dict ordering), which the eviction paths
+        # rely on to match the historical implementation exactly.
+        self._word = np.zeros(capacity, dtype=np.int64)
+        self._value = np.zeros(capacity, dtype=np.int64)
+        self._pops = np.zeros(capacity, dtype=np.int64)
+        self._last_use = np.zeros(capacity, dtype=np.int64)
+        self._slot_of: dict[int, int] = {}
+        self._free: list[int] = list(range(capacity - 1, -1, -1))
         self._rng = random.Random(seed)
         self._seq = 0  # monotonic update counter for pseudo-LRU
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._slot_of)
 
     @property
     def is_full(self) -> bool:
-        return len(self._entries) >= self.config.lookup_table_entries
+        return len(self._slot_of) >= self.config.lookup_table_entries
 
     # ------------------------------------------------------------------ #
-    # Front side: record one dirty granule
+    # Front side: record dirty granules
     # ------------------------------------------------------------------ #
 
     def record(self, word_index: int, bit: int, bitmap: DirtyBitmap) -> int:
@@ -106,91 +121,232 @@ class LookupTable:
         eager write-out when the entry crosses HWM.
         """
         ops = 0
-        entry = self._entries.get(word_index)
-        if entry is not None:
-            self.stats.hits += 1
+        stats = self.stats
+        slot = self._slot_of.get(word_index)
+        if slot is not None:
+            stats.hits += 1
         else:
-            self.stats.misses += 1
+            stats.misses += 1
             if self.is_full:
                 ops += self._evict_one(bitmap)
-            entry = _Entry(word_index)
+            slot = self._free.pop()
+            value = 0
+            pops = 0
             if self.policy.loads_on_allocation:
                 # Load-and-Update: fetch the old word now.
-                entry.value = bitmap.load_word(word_index)
-                entry.pops = popcount(entry.value)
-                self.stats.bitmap_loads += 1
+                value = bitmap.load_word(word_index)
+                pops = popcount_int(value)
+                stats.bitmap_loads += 1
                 ops += 1
-            self._entries[word_index] = entry
+            self._slot_of[word_index] = slot
+            self._word[slot] = word_index
+            self._value[slot] = value
+            self._pops[slot] = pops
 
+        value = int(self._value[slot])
         mask = 1 << bit
-        if not entry.value & mask:
-            entry.value |= mask
-            entry.pops += 1
+        if not value & mask:
+            self._value[slot] = value | mask
+            self._pops[slot] += 1
         self._seq += 1
-        entry.last_use = self._seq
+        self._last_use[slot] = self._seq
 
-        if entry.pops >= self.config.high_water_mark:
-            ops += self._write_out(entry, bitmap, reason="hwm")
+        if self._pops[slot] >= self.config.high_water_mark:
+            ops += self._write_out(slot, bitmap, reason="hwm")
+        return ops
+
+    def record_batch(
+        self, word_indices: np.ndarray, bits: np.ndarray, bitmap: DirtyBitmap
+    ) -> int:
+        """Record a whole run of (word, bit) updates; returns memory ops.
+
+        Semantically identical to calling :meth:`record` once per pair in
+        order.  The common case — no entry crossing HWM even after all the
+        new bits, and enough free slots that no eviction can occur — commits
+        as a handful of array operations: hits/misses are counted per first
+        occurrence, absent words allocate in first-touch order (preserving
+        the dict insertion order and free-slot sequence of the sequential
+        path), and each entry's value/popcount/last-use lands in one fancy
+        assignment.  Runs that could write out or evict fall back to the
+        exact sequential path.
+        """
+        n = len(word_indices)
+        if n == 0:
+            return 0
+        uniq, inverse = np.unique(word_indices, return_inverse=True)
+        slot_of = self._slot_of
+        uniq_list = uniq.tolist()
+        n_uniq = len(uniq_list)
+        slots = [slot_of.get(w) for w in uniq_list]
+        missing = [j for j, s in enumerate(slots) if s is None]
+        if missing and (
+            len(slot_of) + len(missing) > self.config.lookup_table_entries
+        ):
+            # The table would overflow mid-run: evictions (and their RNG
+            # draws / LRU scans) are order-sensitive — replay sequentially.
+            return self._record_seq(word_indices, bits, bitmap)
+
+        acc = np.zeros(n_uniq, dtype=np.int64)
+        np.bitwise_or.at(acc, inverse, np.int64(1) << bits)
+        if missing:
+            loads_on_alloc = self.policy.loads_on_allocation
+            base = np.empty(n_uniq, dtype=np.int64)
+            for j, s in enumerate(slots):
+                if s is not None:
+                    base[j] = self._value[s]
+                elif loads_on_alloc:
+                    # Peek only — charged below iff the fast path commits.
+                    base[j] = bitmap.load_word(uniq_list[j])
+                else:
+                    base[j] = 0
+            new_values = base | acc
+        else:
+            new_values = self._value[np.asarray(slots, dtype=np.int64)] | acc
+        new_pops = popcount_u32(new_values)
+        if int(new_pops.max()) >= self.config.high_water_mark:
+            # An entry would cross HWM somewhere inside the run; the eager
+            # write-out (and what follows it) is order-sensitive.
+            return self._record_seq(word_indices, bits, bitmap)
+
+        stats = self.stats
+        ops = 0
+        if missing:
+            # Allocate absent words in order of their first occurrence, so
+            # dict insertion order and the free-slot pop sequence match the
+            # sequential path exactly.
+            if len(missing) > 1:
+                first_pos = np.full(n_uniq, n, dtype=np.int64)
+                np.minimum.at(first_pos, inverse, np.arange(n, dtype=np.int64))
+                missing.sort(key=lambda j: first_pos[j])
+            for j in missing:
+                slot = self._free.pop()
+                word = uniq_list[j]
+                slot_of[word] = slot
+                self._word[slot] = word
+                slots[j] = slot
+            if self.policy.loads_on_allocation:
+                stats.bitmap_loads += len(missing)
+                ops = len(missing)
+            stats.misses += len(missing)
+            stats.hits += n - len(missing)
+        else:
+            stats.hits += n
+        slots_arr = np.asarray(slots, dtype=np.int64)
+        # Each entry's last_use becomes the sequence number of its final
+        # touch in the run.
+        self._value[slots_arr] = new_values
+        self._pops[slots_arr] = new_pops
+        last_pos = np.empty(n_uniq, dtype=np.int64)
+        last_pos[inverse] = np.arange(n, dtype=np.int64)
+        self._last_use[slots_arr] = self._seq + last_pos + 1
+        self._seq += n
+        return ops
+
+    def _record_seq(
+        self, word_indices: np.ndarray, bits: np.ndarray, bitmap: DirtyBitmap
+    ) -> int:
+        """Order-exact fallback: one :meth:`record` call per pair."""
+        ops = 0
+        rec = self.record
+        for word, bit in zip(word_indices.tolist(), bits.tolist()):
+            ops += rec(word, bit, bitmap)
         return ops
 
     # ------------------------------------------------------------------ #
     # Back side: write-outs, evictions, flush
     # ------------------------------------------------------------------ #
 
-    def _write_out(self, entry: _Entry, bitmap: DirtyBitmap, reason: str) -> int:
-        """Push *entry*'s accumulated bits to the bitmap area; free the entry.
+    def _write_out(self, slot: int, bitmap: DirtyBitmap, reason: str) -> int:
+        """Push one slot's accumulated bits to the bitmap area; free the slot.
 
         Returns the number of memory operations issued (loads + stores).
         """
         ops = 0
+        stats = self.stats
+        word_index = int(self._word[slot])
         if self.policy.loads_on_writeout:
             # Accumulate-and-Apply: load old, merge, store back if changed.
-            self.stats.bitmap_loads += 1
+            stats.bitmap_loads += 1
             ops += 1
-            changed = bitmap.merge_word(entry.word_index, entry.value)
+            changed = bitmap.merge_word(word_index, int(self._value[slot]))
             if changed:
-                self.stats.bitmap_stores += 1
+                stats.bitmap_stores += 1
                 ops += 1
             else:
-                self.stats.elided_stores += 1
+                stats.elided_stores += 1
         else:
             # Load-and-Update: the entry already holds the merged word.
-            bitmap.store_word(entry.word_index, entry.value)
-            self.stats.bitmap_stores += 1
+            bitmap.store_word(word_index, int(self._value[slot]))
+            stats.bitmap_stores += 1
             ops += 1
 
         if reason == "hwm":
-            self.stats.hwm_writeouts += 1
+            stats.hwm_writeouts += 1
         elif reason == "lwm":
-            self.stats.lwm_evictions += 1
+            stats.lwm_evictions += 1
         elif reason == "random":
-            self.stats.random_evictions += 1
+            stats.random_evictions += 1
         else:
-            self.stats.flush_writeouts += 1
-        del self._entries[entry.word_index]
+            stats.flush_writeouts += 1
+        del self._slot_of[word_index]
+        self._free.append(slot)
         return ops
 
     def _evict_one(self, bitmap: DirtyBitmap) -> int:
         """Make room for a new entry using the LWM policy (Section III-B iii)."""
         lwm = self.config.low_water_mark
-        candidates = [e for e in self._entries.values() if e.pops < lwm]
-        if candidates:
-            # Among LWM-qualifying entries, evict the least-recently-updated:
-            # momentary call/return touches leave sparse, stale entries that
-            # deserve to go first, while a sparse entry that was updated a
-            # moment ago is likely a run still being filled.
-            victim = min(candidates, key=lambda e: e.last_use)
-            return self._write_out(victim, bitmap, reason="lwm")
-        victim = self._rng.choice(list(self._entries.values()))
-        return self._write_out(victim, bitmap, reason="random")
+        # Among LWM-qualifying entries, evict the least-recently-updated:
+        # momentary call/return touches leave sparse, stale entries that
+        # deserve to go first, while a sparse entry that was updated a
+        # moment ago is likely a run still being filled.
+        victim_slot = -1
+        victim_use = -1
+        for slot in self._slot_of.values():
+            if self._pops[slot] < lwm:
+                use = int(self._last_use[slot])
+                if victim_slot < 0 or use < victim_use:
+                    victim_slot = slot
+                    victim_use = use
+        if victim_slot >= 0:
+            return self._write_out(victim_slot, bitmap, reason="lwm")
+        # Same draw as the historical ``rng.choice(list(entries.values()))``:
+        # one index into the insertion-ordered entry list.
+        victim_slot = self._rng.choice(list(self._slot_of.values()))
+        return self._write_out(victim_slot, bitmap, reason="random")
 
     def flush(self, bitmap: DirtyBitmap) -> int:
-        """Evict every entry (interval end / context switch); returns mem ops."""
-        ops = 0
-        for entry in list(self._entries.values()):
-            ops += self._write_out(entry, bitmap, reason="flush")
+        """Evict every entry (interval end / context switch); returns mem ops.
+
+        All resident entries merge into the bitmap in one vectorized pass;
+        entries hold distinct words, so the write-outs are independent and
+        the per-entry changed/elided accounting reduces to array compares.
+        """
+        n = len(self._slot_of)
+        if n == 0:
+            return 0
+        stats = self.stats
+        slots = np.fromiter(self._slot_of.values(), dtype=np.int64, count=n)
+        words = self._word[slots]
+        values = self._value[slots]
+        if self.policy.loads_on_writeout:
+            changed = bitmap.merge_words(words, values)
+            stats.bitmap_loads += n
+            stats.bitmap_stores += changed
+            stats.elided_stores += n - changed
+            ops = n + changed
+        else:
+            bitmap.store_words(words, values)
+            stats.bitmap_stores += n
+            ops = n
+        stats.flush_writeouts += n
+        self._slot_of.clear()
+        capacity = self.config.lookup_table_entries
+        self._free = list(range(capacity - 1, -1, -1))
         return ops
 
     def entries_snapshot(self) -> list[tuple[int, int]]:
         """(word_index, value) pairs, for context-switch state save."""
-        return [(e.word_index, e.value) for e in self._entries.values()]
+        return [
+            (int(self._word[slot]), int(self._value[slot]))
+            for slot in self._slot_of.values()
+        ]

@@ -34,6 +34,13 @@ class ControlBits(enum.IntFlag):
     FLUSH = 1 << 1
 
 
+# Plain-int views of the control bits: ``control & ControlBits.ENABLE``
+# routes through IntFlag.__and__ and is measurably slow on the per-store
+# path, where MsrBank.enabled is consulted for every tracked store.
+_ENABLE = int(ControlBits.ENABLE)
+_FLUSH = int(ControlBits.FLUSH)
+
+
 @dataclass
 class MsrBank:
     """The per-core MSR file seen by both the OS and the tracker.
@@ -85,14 +92,14 @@ class MsrBank:
 
     @property
     def enabled(self) -> bool:
-        return bool(self.control & ControlBits.ENABLE)
+        return bool(self.control & _ENABLE)
 
     @property
     def flush_requested(self) -> bool:
-        return bool(self.control & ControlBits.FLUSH)
+        return bool(self.control & _FLUSH)
 
     def clear_flush(self) -> None:
-        self.control &= ~ControlBits.FLUSH
+        self.control &= ~_FLUSH
 
     @property
     def stack_range(self) -> AddressRange:

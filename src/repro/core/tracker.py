@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
 
 from repro.config import TrackerConfig
 from repro.core.bitmap import WORD_BITS, DirtyBitmap
@@ -109,29 +110,100 @@ class ProsperTracker:
             return 0
         if size <= 0:
             return 0
-        if not (self.msrs.stack_start <= address and address + size <= self.msrs.stack_end):
+        msrs = self.msrs
+        if not (msrs.stack_start <= address and address + size <= msrs.stack_end):
             # Partial overlaps with the stack range are clamped; entirely
             # outside means not an SOI.
-            if address >= self.msrs.stack_end or address + size <= self.msrs.stack_start:
+            if address >= msrs.stack_end or address + size <= msrs.stack_start:
                 return 0
-            lo = max(address, self.msrs.stack_start)
-            hi = min(address + size, self.msrs.stack_end)
+            lo = max(address, msrs.stack_start)
+            hi = min(address + size, msrs.stack_end)
             address, size = lo, hi - lo
 
-        if self._min_dirty_address is None or address < self._min_dirty_address:
+        min_dirty = self._min_dirty_address
+        if min_dirty is None or address < min_dirty:
             self._min_dirty_address = address
-            self.msrs.min_dirty_address = address
+            msrs.min_dirty_address = address
 
         bitmap = self.bitmap
-        first = bitmap.granule_of(address)
-        last = bitmap.granule_of(address + size - 1)
-        memory_ops = 0
-        for granule in range(first, last + 1):
+        region_start = bitmap.region.start
+        granularity = bitmap.granularity
+        if region_start <= address and address + size <= bitmap.region.end:
+            first = (address - region_start) // granularity
+            last = (address + size - 1 - region_start) // granularity
+        else:
+            # Out-of-region addresses keep the historical diagnostics.
+            first = bitmap.granule_of(address)
+            last = bitmap.granule_of(address + size - 1)
+        if first == last:
+            # Common case: the store dirties a single granule.
             self.table_reads += 1  # parallel search
             self.table_writes += 1  # value update / allocation
-            memory_ops += self.table.record(
-                granule // WORD_BITS, granule % WORD_BITS, bitmap
+            memory_ops = self.table.record(
+                first // WORD_BITS, first % WORD_BITS, bitmap
             )
+        else:
+            memory_ops = 0
+            for granule in range(first, last + 1):
+                self.table_reads += 1  # parallel search
+                self.table_writes += 1  # value update / allocation
+                memory_ops += self.table.record(
+                    granule // WORD_BITS, granule % WORD_BITS, bitmap
+                )
+        self.interval_memory_ops += memory_ops
+        return memory_ops * self.INTERFERENCE_CYCLES_PER_OP
+
+    def observe_store_batch(self, addresses: np.ndarray, sizes: np.ndarray) -> int:
+        """Inspect a run of demand stores at once; returns interference cycles.
+
+        Semantically identical to calling :meth:`observe_store` for each
+        (address, size) pair in order — same stats, same bitmap contents,
+        same lowest-dirty-address, same total interference — but the SOI
+        filtering, clamping and granule expansion happen as array
+        operations, and the lookup-table updates go through
+        :meth:`LookupTable.record_batch`.  Callers must pass addresses whose
+        clamped extents lie inside the configured bitmap region (true
+        whenever the MSRs were programmed by :meth:`configure`).
+        """
+        if not self.msrs.enabled or self.bitmap is None or len(addresses) == 0:
+            return 0
+        msrs = self.msrs
+        lo = np.maximum(addresses, msrs.stack_start)
+        hi = np.minimum(addresses + sizes, msrs.stack_end)
+        valid = hi > lo
+        if not valid.all():
+            lo = lo[valid]
+            hi = hi[valid]
+            if len(lo) == 0:
+                return 0
+
+        batch_min = int(lo.min())
+        min_dirty = self._min_dirty_address
+        if min_dirty is None or batch_min < min_dirty:
+            self._min_dirty_address = batch_min
+            msrs.min_dirty_address = batch_min
+
+        bitmap = self.bitmap
+        region_start = bitmap.region.start
+        granularity = bitmap.granularity
+        first = (lo - region_start) // granularity
+        last = (hi - 1 - region_start) // granularity
+        counts = last - first + 1
+        total = int(counts.sum())
+        self.table_reads += total  # parallel search per granule
+        self.table_writes += total  # value update / allocation per granule
+        if total == len(first):
+            granules = first
+        else:
+            # Expand [first, last] spans, preserving per-store order and the
+            # ascending granule order within each store.
+            group_starts = np.repeat(np.cumsum(counts) - counts, counts)
+            granules = np.repeat(first, counts) + (
+                np.arange(total, dtype=np.int64) - group_starts
+            )
+        memory_ops = self.table.record_batch(
+            granules // WORD_BITS, granules % WORD_BITS, bitmap
+        )
         self.interval_memory_ops += memory_ops
         return memory_ops * self.INTERFERENCE_CYCLES_PER_OP
 

@@ -10,12 +10,25 @@ loop:
   (kind, read/write, stack/heap containment), cache-line indices,
   single-line detection, and the full SP trajectory (cumulative CALL/RET
   deltas) are computed as numpy arrays up front;
-* the remaining per-op loop touches plain Python ints from ``tolist()``'d
-  columns and handles only the inherently sequential residue: cache tag
-  state, device write-buffer timing, and mechanism hooks;
-* the overwhelmingly common case — a single-line access that hits in L1 —
-  is handled inline against the cache's columnar arrays (dict probe, tick
-  stamp, dirty bit) without a single method call;
+* when the configuration allows it (no TLB, no NVM-resident persistence
+  region, and every mechanism hook either trivial or batch-eligible),
+  the chunk enters **vectorized-run mode**: L1 residency is predicted up front, maximal runs of predicted
+  single-line L1 hits are committed as whole array operations against
+  numpy mirrors of the cache's replacement state (ages authoritative in
+  the mirror, tags patched from the cache's list, dirty bits shared via
+  the cache's own buffer), and only the sequential residue — predicted
+  misses, multi-line accesses, interval boundaries — walks the per-op
+  path with the mirrors re-synced around each stateful call;
+* mechanism store/load hooks for stack (and heap) traffic are delivered
+  in batches through :meth:`PersistenceMechanism.on_store_batch` /
+  ``on_load_batch`` when the mechanism declares ``supports_batching``;
+  mechanisms whose per-op costs feed back into the current cycle (SSP,
+  the logging family) fall back to exact per-op delivery;
+* otherwise the remaining per-op loop touches plain Python ints from
+  ``tolist()``'d columns and handles only the inherently sequential
+  residue: cache tag state, device write-buffer timing, and mechanism
+  hooks — the single-line L1 hit is still handled inline against the
+  cache's columnar arrays without a method call;
 * aggregate statistics (op counts, stack/other read/write counters, the
   interval write log, the interval-minimum SP) are accumulated as numpy
   reductions over chunk slices instead of per-op updates.
@@ -45,7 +58,7 @@ _COMPUTE = int(OpKind.COMPUTE)
 
 #: Ops per vectorization chunk.  Large enough to amortize the numpy
 #: precompute, small enough to keep the per-chunk arrays cache-resident.
-CHUNK_OPS = 4096
+CHUNK_OPS = 8192
 
 
 class BatchedExecutionEngine(ExecutionEngine):
@@ -147,16 +160,6 @@ class BatchedExecutionEngine(ExecutionEngine):
             if len(violations):
                 overflow_at = int(violations[0])
 
-        # Python-int columns for the residual loop.
-        kinds = kinds_np.tolist()
-        addrs = addrs_np.tolist()
-        sizes = sizes_np.tolist()
-        stack_flags = stack_np.tolist()
-        single_flags = single_np.tolist()
-        lines = lines_np.tolist()
-        sps = sp_np.tolist()
-        heap_flags = heap_np.tolist() if heap_np is not None else None
-
         # Hot-loop locals.
         hierarchy = self.hierarchy
         l1 = hierarchy.l1
@@ -177,15 +180,106 @@ class BatchedExecutionEngine(ExecutionEngine):
         ops_mode = interval_ops is not None
         cycles_mode = next_boundary is not None
 
+        # Batched hook delivery (see PersistenceMechanism.supports_batching).
+        # Deferring hooks is exact only when (a) no region is NVM-resident,
+        # so every demand latency inside a deferred window is independent of
+        # the cycle count the deferred inline costs would have advanced, and
+        # (b) every non-trivial mechanism in play batches, so no per-op hook
+        # can observe a cycle count that is missing another mechanism's
+        # deferred costs.
+        no_nvm = not (
+            mechanism.region_in_nvm
+            or (heap_mech is not None and heap_mech.region_in_nvm)
+        )
+        batch_env = (
+            no_nvm
+            and (mech_trivial or mechanism.supports_batching)
+            and (heap_mech is None or heap_trivial or heap_mech.supports_batching)
+        )
+        stack_batched = batch_env and not mech_trivial and mechanism.supports_batching
+        heap_batched = (
+            batch_env
+            and heap_mech is not None
+            and not heap_trivial
+            and heap_mech.supports_batching
+        )
+        bounds_np = None
+        if stack_batched or heap_batched:
+            # Per-op upper bounds on deferred store costs: the loop may keep
+            # deferring only while the accumulated bound cannot reach the
+            # next interval boundary.
+            bounds_np = np.zeros(n, dtype=np.int64)
+            if stack_batched and stack_write_np.any():
+                bounds_np[stack_write_np] = mechanism.store_cost_bound_array(
+                    addrs_np[stack_write_np], sizes_np[stack_write_np]
+                )
+            if heap_batched:
+                hw_mask = heap_np & is_write_np
+                if hw_mask.any():
+                    bounds_np[hw_mask] = heap_mech.store_cost_bound_array(
+                        addrs_np[hw_mask], sizes_np[hw_mask]
+                    )
+        mech_store_batch = mechanism.on_store_batch
+        mech_load_batch = mechanism.on_load_batch
+        heap_store_batch = heap_mech.on_store_batch if heap_mech is not None else None
+        heap_load_batch = heap_mech.on_load_batch if heap_mech is not None else None
+
         now = self.now
         app = 0
         inline = 0
         l1_hits = 0
         seg = 0  # start of the unflushed segment [seg, i)
+        mseg = 0  # start of the undelivered mechanism window [mseg, i)
+        pending_bound = 0  # upper bound on the window's deferred cycles
+
+        def mech_flush(end: int) -> None:
+            """Deliver deferred mechanism hooks for ops [mseg, end)."""
+            nonlocal now, inline, mseg, pending_bound
+            if end <= mseg:
+                return
+            win = slice(mseg, end)
+            if stack_batched:
+                w = stack_write_np[win]
+                if w.any():
+                    extra = mech_store_batch(
+                        addrs_np[win][w], sizes_np[win][w], now
+                    )
+                    if extra:
+                        now += extra
+                        inline += extra
+                r = stack_np[win] & ~is_write_np[win]
+                if r.any():
+                    extra = mech_load_batch(
+                        addrs_np[win][r], sizes_np[win][r], now
+                    )
+                    if extra:
+                        now += extra
+                        inline += extra
+            if heap_batched:
+                hwin = heap_np[win]
+                w = hwin & is_write_np[win]
+                if w.any():
+                    extra = heap_store_batch(
+                        addrs_np[win][w], sizes_np[win][w], now
+                    )
+                    if extra:
+                        now += extra
+                        inline += extra
+                r = hwin & ~is_write_np[win]
+                if r.any():
+                    extra = heap_load_batch(
+                        addrs_np[win][r], sizes_np[win][r], now
+                    )
+                    if extra:
+                        now += extra
+                        inline += extra
+            mseg = end
+            pending_bound = 0
 
         def flush(end: int) -> None:
             """Commit aggregates for ops [seg, end) and sync engine state."""
             nonlocal app, inline, l1_hits, seg
+            mech_flush(end)
             stats = self.stats
             if end > seg:
                 seg_slice = slice(seg, end)
@@ -220,7 +314,7 @@ class BatchedExecutionEngine(ExecutionEngine):
                     )
                 stats.ops_executed += end - seg
                 self.registers.op_index += end - seg
-                self.registers.stack_pointer = sps[end - 1]
+                self.registers.stack_pointer = int(sp_np[end - 1])
                 seg = end
             stats.app_cycles += app
             stats.inline_cycles += inline
@@ -233,6 +327,401 @@ class BatchedExecutionEngine(ExecutionEngine):
             hierarchy.now = now
 
         loop_end = overflow_at if overflow_at >= 0 else n
+
+        # ------------------------------------------------------------------
+        # Vectorized-run mode: when per-op state feedback is limited to the
+        # L1 replacement state (no TLB, and every mechanism either trivial
+        # or batched), whole runs of predicted L1 hits commit as array
+        # operations.  Residency is predicted once per chunk and updated
+        # incrementally at each miss (the inserted line becomes a future
+        # hit, the evicted LRU victim a future miss), so run membership is
+        # exact; interval boundaries inside a run are located by binary
+        # search over the run's cumulative cost (plus the deferred-cost
+        # bound, which can only over-estimate and therefore never misses a
+        # boundary).
+        # ------------------------------------------------------------------
+        if tlb is None and batch_env:
+            any_batched = stack_batched or heap_batched
+            # Static cost of every *simple* op: a single-line L1 hit costs
+            # the L1 latency, COMPUTE its size, CALL/RET one cycle.  Only
+            # run members (predicted hits / non-memory ops) read this.
+            costs_np = np.where(
+                mem_np,
+                np.int64(l1_latency),
+                np.where(kinds_np == _COMPUTE, sizes_np, np.int64(1)),
+            )
+            # Whole-chunk cumulative costs: run advances and boundary
+            # searches become O(1)/O(log n) lookups.  Sums over [r0, stop)
+            # are differences of the cumulative array; entries outside runs
+            # (sequential ops, whose true cost differs) never fall inside a
+            # queried span.
+            ccost_all = np.cumsum(costs_np)
+            cb_all = (
+                np.cumsum(bounds_np)
+                if (cycles_mode and any_batched)
+                else None
+            )
+            tot_all = ccost_all + cb_all if cb_all is not None else ccost_all
+            # Memory-op stream: every L1 access of the chunk in op order.
+            # A run's hits are a contiguous slice of this stream, found via
+            # the cumulative mem-op count — no per-run boolean indexing.
+            cummem_all = np.cumsum(mem_np)
+            mlines = lines_np[mem_np]
+            mwrites = is_write_np[mem_np]
+            # Chunk-wide consecutive-repeat masks and the write-position
+            # stream, hoisted so commit_run never rebuilds them per run.
+            # keep_all[p] is False where the next access touches the same
+            # line; a run's last position is force-kept at commit time.
+            num_mem = len(mlines)
+            if num_mem:
+                keep_all = np.empty(num_mem, dtype=bool)
+                np.not_equal(mlines[1:], mlines[:-1], out=keep_all[:-1])
+                keep_all[-1] = True
+                # Kept positions and their running count, so a run maps to
+                # a slice kidx_all[lo:hi] instead of a per-run flatnonzero.
+                kidx_all = np.flatnonzero(keep_all)
+                cumkeep = np.cumsum(keep_all)
+                cumw_all = np.cumsum(mwrites)
+                wlines = mlines[mwrites]
+                num_w = len(wlines)
+                if num_w:
+                    wkeep_all = np.empty(num_w, dtype=bool)
+                    np.not_equal(wlines[1:], wlines[:-1], out=wkeep_all[:-1])
+                    wkeep_all[-1] = True
+                    wkidx_all = np.flatnonzero(wkeep_all)
+                    cumwkeep = np.cumsum(wkeep_all)
+            nonsimple_np = np.empty(n, dtype=bool)
+            l1_index = l1._index
+            l1_tags = l1._tags
+            l1_free = l1._free
+            assoc = l1._assoc
+            power2 = l1._power_of_two_sets
+            set_mask = l1._set_mask
+            num_sets = l1._num_sets
+            # Numpy mirrors of the L1 replacement state.  Inside vector
+            # mode the *age* mirror is authoritative — commit_run writes
+            # whole runs of ages into it vectorized — and is written back
+            # to the cache's list (sync_ages) before anything that reads
+            # the list: an eviction scan inside cache.access, a multi-line
+            # access, an interval end, or leaving the chunk.  Tags flow
+            # the other way (the list stays authoritative; the mirror is
+            # patched after each sequential access), and the dirty mirror
+            # shares the cache's buffer outright.
+            age_np = np.empty(num_sets * assoc, dtype=np.int64)
+            age_np[:] = l1_age
+            tags_np = np.empty(num_sets * assoc, dtype=np.int64)
+            tags_np[:] = l1_tags
+            tags2d = tags_np.reshape(num_sets, assoc)
+            dirty_np = np.frombuffer(l1_dirty, dtype=np.uint8)
+
+            def sync_ages() -> None:
+                """Write the authoritative age mirror back to the cache."""
+                l1_age[:] = age_np.tolist()
+
+            def predict(start: int) -> None:
+                """Recompute run membership for ops [start, loop_end)."""
+                # The cache's list state is authoritative whenever this
+                # runs (chunk start, or pred_stale after arbitrary cache
+                # mutation); refresh the mirrors from it.
+                age_np[:] = l1_age
+                tags_np[:] = l1_tags
+                rest = slice(start, loop_end)
+                if l1_index:
+                    resident = np.fromiter(
+                        l1_index.keys(), np.int64, len(l1_index)
+                    )
+                    resident.sort()
+                    seg = lines_np[rest]
+                    slot = np.searchsorted(resident, seg)
+                    hit = np.take(resident, slot, mode="clip") == seg
+                    nonsimple_np[rest] = mem_np[rest] & ~(single_np[rest] & hit)
+                else:
+                    nonsimple_np[rest] = mem_np[rest]
+
+            def commit_run(r0: int, stop: int) -> None:
+                """Apply a run of L1 hits to the cache's columnar state.
+
+                Replicates the inline-hit bookkeeping exactly: the tick
+                advances once per access, each touched line's age becomes
+                the tick of its last access in the run, and written lines
+                turn dirty — all as array writes into the numpy mirrors.
+                Slots come from matching tags within each line's set; a
+                non-match would mean the residency prediction was wrong,
+                which by construction cannot happen (and the differential
+                suite would catch any drift).
+                """
+                nonlocal l1_hits
+                a = int(cummem_all[r0 - 1]) if r0 else 0
+                b = int(cummem_all[stop - 1])
+                k = b - a
+                if not k:
+                    return
+                tick0 = l1._tick
+                l1._tick = tick0 + k
+                if k > 1:
+                    # Consecutive repeats were deduped chunk-wide (stack
+                    # locality makes them the common case); position b-1
+                    # is force-kept to close the group the chunk-wide mask
+                    # can't see ends here.  Fancy assignment stores the
+                    # last value for a repeated slot, so non-adjacent
+                    # repeats resolve last-wins like per-op updates would.
+                    lo = int(cumkeep[a - 1]) if a else 0
+                    hi = int(cumkeep[b - 2])
+                    idx = np.empty(hi - lo + 1, dtype=np.int64)
+                    idx[:-1] = kidx_all[lo:hi]
+                    idx[-1] = b - 1
+                    lines_sel = mlines[idx]
+                    set_idx = (
+                        lines_sel & set_mask
+                        if power2
+                        else lines_sel % num_sets
+                    )
+                    ways = (tags2d[set_idx] == lines_sel[:, None]).argmax(
+                        axis=1
+                    )
+                    age_np[set_idx * assoc + ways] = idx + (tick0 + 1 - a)
+                else:
+                    age_np[l1_index[int(mlines[a])]] = tick0 + 1
+                wa = int(cumw_all[a - 1]) if a else 0
+                wb = int(cumw_all[b - 1])
+                if wb > wa:
+                    # Setting a dirty bit twice is harmless, so the forced
+                    # last position needs no dedup against the mask.
+                    if wb - wa > 1:
+                        wlo = int(cumwkeep[wa - 1]) if wa else 0
+                        whi = int(cumwkeep[wb - 2])
+                        widx = np.empty(whi - wlo + 1, dtype=np.int64)
+                        widx[:-1] = wkidx_all[wlo:whi]
+                        widx[-1] = wb - 1
+                        wl = wlines[widx]
+                        wset = wl & set_mask if power2 else wl % num_sets
+                        wways = (tags2d[wset] == wl[:, None]).argmax(axis=1)
+                        dirty_np[wset * assoc + wways] = 1
+                    else:
+                        dirty_np[l1_index[int(wlines[wa])]] = 1
+                l1_hits += k
+
+            if loop_end:
+                predict(0)
+            pred_stale = False
+            i = 0
+            while i < loop_end:
+                if pred_stale:
+                    # An interval boundary or a multi-line access may have
+                    # reshaped L1 residency arbitrarily; re-predict.
+                    predict(i)
+                    pred_stale = False
+                if nonsimple_np[i]:
+                    # Sequential op: a predicted L1 miss or a multi-line
+                    # access (always a memory op — non-memory ops are
+                    # simple by definition).
+                    address = int(addrs_np[i])
+                    size = int(sizes_np[i])
+                    is_write = bool(is_write_np[i])
+                    if single_np[i]:
+                        line = int(lines_np[i])
+                        # Predict the LRU victim before the access (same
+                        # unique-minimum scan the cache performs) so the
+                        # residency picture can be patched incrementally.
+                        victim_line = -1
+                        set_index = (
+                            line & set_mask if power2 else line % num_sets
+                        )
+                        base = set_index * assoc
+                        set_ages = age_np[base : base + assoc]
+                        # The mirror is authoritative for ages inside the
+                        # vector loop; hand the cache this set's current
+                        # picture before the access (the post-access patch
+                        # below copies list -> mirror for the whole set, so
+                        # a stale list entry would clobber newer mirror
+                        # ages written by commit_run).
+                        l1_age[base : base + assoc] = set_ages.tolist()
+                        if not l1_free[set_index]:
+                            # argmin = first minimum, the same way the
+                            # cache's strict-less scan resolves (ticks are
+                            # unique anyway).
+                            victim_line = int(
+                                tags_np[base + int(set_ages.argmin())]
+                            )
+                        hierarchy.now = now
+                        latency = access_line(
+                            line, address, is_write
+                        ).latency_cycles
+                        # The access rewrote this set's replacement state;
+                        # patch the mirrors from the list.
+                        age_np[base : base + assoc] = l1_age[
+                            base : base + assoc
+                        ]
+                        tags_np[base : base + assoc] = l1_tags[
+                            base : base + assoc
+                        ]
+                        if i + 1 < loop_end:
+                            rest = slice(i + 1, loop_end)
+                            rl = lines_np[rest]
+                            rsingle = single_np[rest]
+                            view = nonsimple_np[rest]
+                            # The inserted line now hits; the evicted
+                            # victim now misses.
+                            view[(rl == line) & rsingle] = False
+                            if victim_line >= 0:
+                                view[(rl == victim_line) & rsingle] = True
+                    else:
+                        # A multi-line access may read replacement state
+                        # across arbitrary sets; hand the cache its exact
+                        # list state first, then re-mirror what the access
+                        # rewrote (a later sync_ages must not clobber the
+                        # list with the pre-access picture).
+                        sync_ages()
+                        hierarchy.now = now
+                        latency = full_access(
+                            address, size, is_write
+                        ).latency_cycles
+                        age_np[:] = l1_age
+                        tags_np[:] = l1_tags
+                        pred_stale = True
+                    now += latency
+                    app += latency
+                    if cycles_mode and any_batched:
+                        pending_bound += int(bounds_np[i])
+                    if ops_mode:
+                        ops_in_interval += 1
+                        if ops_in_interval >= interval_ops:
+                            sync_ages()
+                            flush(i + 1)
+                            self._end_interval()
+                            ops_in_interval = 0
+                            self._start_interval()
+                            now = self.now
+                            pred_stale = True
+                    elif cycles_mode:
+                        ops_in_interval += 1
+                        if now + pending_bound >= next_boundary:
+                            if pending_bound:
+                                mech_flush(i + 1)
+                            if now >= next_boundary:
+                                sync_ages()
+                                flush(i + 1)
+                                self._end_interval()
+                                next_boundary = self.now + interval_cycles
+                                ops_in_interval = 0
+                                self._start_interval()
+                                now = self.now
+                                pred_stale = True
+                    i += 1
+                    continue
+
+                # Maximal run of simple ops [i, r1).
+                seg_ns = nonsimple_np[i:loop_end]
+                rel = int(seg_ns.argmax())
+                r1 = i + rel if seg_ns[rel] else loop_end
+                r0 = i
+                while r0 < r1:
+                    seg_len = r1 - r0
+                    boundary_hit = False
+                    base_c = int(ccost_all[r0 - 1]) if r0 else 0
+                    if cycles_mode:
+                        # First op where the (bound-inflated) cycle count
+                        # reaches the boundary, by binary search over the
+                        # non-decreasing cumulative cost.
+                        base_t = int(tot_all[r0 - 1]) if r0 else 0
+                        budget = next_boundary - now - pending_bound + base_t
+                        if int(tot_all[r1 - 1]) < budget:
+                            # Whole run fits before the boundary — the
+                            # overwhelmingly common case; skip the search.
+                            stop = r1
+                        else:
+                            j = int(
+                                np.searchsorted(tot_all[r0:r1], budget)
+                            )
+                            if j < seg_len:
+                                boundary_hit = True
+                                stop = r0 + j + 1
+                            else:
+                                stop = r1
+                        commit_run(r0, stop)
+                        adv = int(ccost_all[stop - 1]) - base_c
+                        now += adv
+                        app += adv
+                        if cb_all is not None:
+                            pending_bound += (
+                                int(cb_all[stop - 1])
+                                - (int(cb_all[r0 - 1]) if r0 else 0)
+                            )
+                        ops_in_interval += stop - r0
+                    elif ops_mode:
+                        remaining = interval_ops - ops_in_interval
+                        if remaining <= seg_len:
+                            boundary_hit = True
+                            stop = r0 + remaining
+                        else:
+                            stop = r1
+                        commit_run(r0, stop)
+                        adv = int(ccost_all[stop - 1]) - base_c
+                        now += adv
+                        app += adv
+                        ops_in_interval += stop - r0
+                    else:
+                        stop = r1
+                        commit_run(r0, stop)
+                        adv = int(ccost_all[stop - 1]) - base_c
+                        now += adv
+                        app += adv
+                    r0 = stop
+                    if boundary_hit:
+                        if cycles_mode:
+                            if pending_bound:
+                                mech_flush(stop)
+                            if now >= next_boundary:
+                                sync_ages()
+                                flush(stop)
+                                self._end_interval()
+                                next_boundary = self.now + interval_cycles
+                                ops_in_interval = 0
+                                self._start_interval()
+                                now = self.now
+                                pred_stale = True
+                                break
+                            # Bound over-estimated: no boundary yet, keep
+                            # consuming the run with the bound reset.
+                        else:
+                            sync_ages()
+                            flush(stop)
+                            self._end_interval()
+                            ops_in_interval = 0
+                            self._start_interval()
+                            now = self.now
+                            pred_stale = True
+                            break
+                i = r0
+
+            # Leaving vector mode: the cache's list state must be exact
+            # again for the scalar-visible world (next chunk, fault
+            # snapshots, end-of-run inspection).  When pred_stale is set
+            # the list is already authoritative (an interval end mutated
+            # the cache after the last sync) and the mirrors are stale —
+            # syncing would clobber it.
+            if not pred_stale:
+                sync_ages()
+            if overflow_at >= 0:
+                flush(overflow_at + 1)
+                sp = int(sp_np[overflow_at])
+                raise RuntimeError(
+                    f"stack overflow: SP {sp:#x} below {stack_start:#x}"
+                )
+            flush(n)
+            return next_boundary, ops_in_interval
+
+        # Python-int columns for the residual per-op loop (the fallback for
+        # TLB-enabled or non-batchable configurations).
+        kinds = kinds_np.tolist()
+        addrs = addrs_np.tolist()
+        sizes = sizes_np.tolist()
+        stack_flags = stack_np.tolist()
+        single_flags = single_np.tolist()
+        lines = lines_np.tolist()
+        heap_flags = heap_np.tolist() if heap_np is not None else None
+        sbounds = bounds_np.tolist() if bounds_np is not None else None
+
         i = 0
         while i < loop_end:
             k = kinds[i]
@@ -266,7 +755,10 @@ class BatchedExecutionEngine(ExecutionEngine):
                 now += latency
                 app += latency
                 if stack_flags[i]:
-                    if not mech_trivial:
+                    if stack_batched:
+                        # Hook deferred; only the cost bound advances.
+                        pending_bound += sbounds[i]
+                    elif not mech_trivial:
                         hierarchy.now = now
                         extra = (
                             mech_store(address, size, now)
@@ -277,7 +769,9 @@ class BatchedExecutionEngine(ExecutionEngine):
                             now += extra
                             inline += extra
                 elif heap_flags is not None and heap_flags[i]:
-                    if not heap_trivial:
+                    if heap_batched:
+                        pending_bound += sbounds[i]
+                    elif not heap_trivial:
                         hierarchy.now = now
                         extra = (
                             heap_store(address, size, now)
@@ -307,13 +801,20 @@ class BatchedExecutionEngine(ExecutionEngine):
                 # The count still matters here: a trailing partial interval
                 # is only committed when ops ran since the last boundary.
                 ops_in_interval += 1
-                if now >= next_boundary:
-                    flush(i + 1)
-                    self._end_interval()
-                    next_boundary = self.now + interval_cycles
-                    ops_in_interval = 0
-                    self._start_interval()
-                    now = self.now
+                if now + pending_bound >= next_boundary:
+                    # The boundary is within reach of the deferred costs:
+                    # deliver the pending batch to learn the exact cycle
+                    # count, then test the boundary as the scalar engine
+                    # would have.
+                    if pending_bound:
+                        mech_flush(i + 1)
+                    if now >= next_boundary:
+                        flush(i + 1)
+                        self._end_interval()
+                        next_boundary = self.now + interval_cycles
+                        ops_in_interval = 0
+                        self._start_interval()
+                        now = self.now
             i += 1
 
         if overflow_at >= 0:
@@ -321,7 +822,7 @@ class BatchedExecutionEngine(ExecutionEngine):
             # as executed, moves SP (and the interval minimum), charges no
             # cycles, and raises.
             flush(overflow_at + 1)
-            sp = sps[overflow_at]
+            sp = int(sp_np[overflow_at])
             raise RuntimeError(
                 f"stack overflow: SP {sp:#x} below {stack_start:#x}"
             )

@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from repro.memory.address import AddressRange
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -118,6 +120,18 @@ class PersistenceMechanism:
     )
     #: True when the protected region must be allocated in NVM.
     region_in_nvm = False
+    #: True when the mechanism supports the batched hook protocol below:
+    #: the engine may then deliver whole runs of consecutive demand accesses
+    #: through :meth:`on_store_batch` / :meth:`on_load_batch` instead of one
+    #: hook call per access.  A mechanism may only opt in when its hooks are
+    #: *now-independent* — the inline cost of each access must not depend on
+    #: the cycle count at which the hook is invoked (no deadlines, no NVM
+    #: write-buffer drains keyed on ``now``) — so that deferring the hook to
+    #: the end of a run charges exactly the same cycles.  Order within a
+    #: batch is preserved, and the engine never reorders stores relative to
+    #: each other; loads are delivered as aggregate counts and must not
+    #: influence store-side behavior.
+    supports_batching = False
 
     def __init__(self) -> None:
         self.stats = MechanismStats()
@@ -157,6 +171,37 @@ class PersistenceMechanism:
         """Demand store inside the region; returns extra critical-path cycles."""
         self.stats.stores_seen += 1
         return 0
+
+    def on_load_batch(self, addresses: np.ndarray, sizes: np.ndarray, now: int) -> int:
+        """Batched form of :meth:`on_load` for a run of consecutive loads.
+
+        Must behave exactly like calling ``on_load`` once per (address,
+        size) pair in order, with *now* being the cycle count at delivery
+        (the end of the run).  Only invoked when :attr:`supports_batching`
+        is True.  Returns the summed extra critical-path cycles.
+        """
+        self.stats.loads_seen += len(addresses)
+        return 0
+
+    def on_store_batch(self, addresses: np.ndarray, sizes: np.ndarray, now: int) -> int:
+        """Batched form of :meth:`on_store` for a run of consecutive stores.
+
+        Same contract as :meth:`on_load_batch`, for stores.
+        """
+        self.stats.stores_seen += len(addresses)
+        return 0
+
+    def store_cost_bound_array(self, addresses: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        """Per-store upper bound on the cycles :meth:`on_store` could return.
+
+        The engine uses these bounds to decide how long it may keep
+        deferring hook delivery without risking a missed interval boundary:
+        it flushes the pending batch as soon as the accumulated bound could
+        reach the next boundary.  Bounds must dominate the true per-store
+        cost in *every* reachable mechanism state.  The base mechanism
+        charges nothing inline, so the bound is zero.
+        """
+        return np.zeros(len(addresses), dtype=np.int64)
 
     def on_interval_start(self, ctx: IntervalContext) -> int:
         """Prepare for a new tracking interval; returns cycles spent."""

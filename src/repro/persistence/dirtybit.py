@@ -13,6 +13,8 @@ amplified by up to 512x relative to byte-granularity tracking.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import PAGE_BYTES
 from repro.memory.address import page_index, span_pages
 from repro.persistence.base import (
@@ -41,6 +43,10 @@ class DirtyBitPersistence(PersistenceMechanism):
         allows_stack_in_dram=True,
     )
     region_in_nvm = False
+    # PTE dirty bits are set by the page-table walker off the critical path;
+    # on_store charges nothing and keeps no cycle-dependent state, so runs
+    # of stores can be delivered in one batched set update.
+    supports_batching = True
 
     def __init__(self, page_bytes: int = PAGE_BYTES) -> None:
         super().__init__()
@@ -55,6 +61,27 @@ class DirtyBitPersistence(PersistenceMechanism):
             self._dirty_pages.add(page)
             self._mapped_pages.add(page)
         # The PTW sets the dirty bit off the critical path.
+        return 0
+
+    def on_store_batch(self, addresses: np.ndarray, sizes: np.ndarray, now: int) -> int:
+        self.stats.stores_seen += len(addresses)
+        if len(addresses) == 0:
+            return 0
+        pb = self.page_bytes
+        positive = sizes > 0
+        first = addresses[positive] // pb
+        last = (addresses[positive] + sizes[positive] - 1) // pb
+        if len(first) == 0:
+            return 0
+        if int((last - first).max()) == 0:
+            touched = np.unique(first)
+        else:
+            # Rare multi-page stores: expand each [first, last] span.
+            spans = [np.arange(f, l + 1) for f, l in zip(first.tolist(), last.tolist())]
+            touched = np.unique(np.concatenate(spans))
+        pages = touched.tolist()
+        self._dirty_pages.update(pages)
+        self._mapped_pages.update(pages)
         return 0
 
     def on_interval_end(self, ctx: IntervalContext) -> int:

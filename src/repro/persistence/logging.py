@@ -72,6 +72,10 @@ class FlushPersistence(_SpAwareMixin, PersistenceMechanism):
         allows_stack_in_dram=False,
     )
     region_in_nvm = True
+    # Not batchable: the stack lives in NVM, so every store's cost flows
+    # through the NVM write buffer at the current cycle count (clwb latency
+    # depends on ``now``); deferred delivery would drift the timing.
+    supports_batching = False
 
     def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
         _SpAwareMixin.__init__(self, sp_oracle)
@@ -112,6 +116,9 @@ class UndoLogPersistence(_SpAwareMixin, PersistenceMechanism):
         allows_stack_in_dram=False,
     )
     region_in_nvm = True
+    # Not batchable: log appends are NVM writes priced at the current cycle
+    # count (write-buffer occupancy is now-dependent).
+    supports_batching = False
 
     def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
         _SpAwareMixin.__init__(self, sp_oracle)
@@ -171,6 +178,9 @@ class RedoLogPersistence(_SpAwareMixin, PersistenceMechanism):
         allows_stack_in_dram=False,
     )
     region_in_nvm = True
+    # Not batchable: like undo logging, appends hit the NVM write buffer at
+    # the current cycle count.
+    supports_batching = False
 
     def __init__(self, sp_oracle: Callable[[int], int] | None = None) -> None:
         _SpAwareMixin.__init__(self, sp_oracle)

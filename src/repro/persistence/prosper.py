@@ -9,6 +9,8 @@ heap mechanism (Figure 9).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.config import TrackerConfig
 from repro.core.bitmap import DirtyBitmap
 from repro.core.checkpoint import ProsperCheckpointEngine
@@ -33,6 +35,15 @@ class ProsperPersistence(PersistenceMechanism):
         allows_stack_in_dram=True,
     )
     region_in_nvm = False
+    # Tracker interference is a per-op constant times a memory-op count that
+    # depends only on store order, never on the cycle counter, so deferred
+    # batch delivery charges exactly the same cycles as per-op hooks.
+    supports_batching = True
+
+    #: Worst-case tracker memory ops for recording one granule: a capacity
+    #: eviction (load + store), a Load-and-Update allocation load, and an
+    #: HWM write-out (load + store).
+    _MAX_OPS_PER_GRANULE = 5
 
     def __init__(
         self,
@@ -78,6 +89,20 @@ class ProsperPersistence(PersistenceMechanism):
         if cost:
             self.stats.inline_overhead_cycles += cost
         return cost
+
+    def on_store_batch(self, addresses: np.ndarray, sizes: np.ndarray, now: int) -> int:
+        self.stats.stores_seen += len(addresses)
+        cost = self.tracker.observe_store_batch(addresses, sizes)
+        if cost:
+            self.stats.inline_overhead_cycles += cost
+        return cost
+
+    def store_cost_bound_array(self, addresses: np.ndarray, sizes: np.ndarray) -> np.ndarray:
+        granularity = self.tracker_config.granularity_bytes
+        granules = (addresses % granularity + sizes - 1) // granularity + 1
+        return granules * (
+            self._MAX_OPS_PER_GRANULE * self.tracker.INTERFERENCE_CYCLES_PER_OP
+        )
 
     def on_interval_end(self, ctx: IntervalContext) -> int:
         self.stats.intervals += 1

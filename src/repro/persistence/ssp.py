@@ -71,6 +71,10 @@ class SspPersistence(PersistenceMechanism):
         allows_stack_in_dram=False,
     )
     region_in_nvm = True
+    # Not batchable: every access probes consolidation deadlines against the
+    # current cycle count (``_run_due_consolidations(now)``), so the inline
+    # cost is now-dependent and deferred delivery would change timing.
+    supports_batching = False
 
     def __init__(self, consolidation_interval_us: float = 10.0) -> None:
         super().__init__()

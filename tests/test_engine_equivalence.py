@@ -18,7 +18,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import setup_i, setup_ii
+from repro.config import TrackerConfig, setup_i, setup_ii
+from repro.core.policies import AllocationPolicy
 from repro.cpu.engine import ExecutionEngine
 from repro.cpu.engine_fast import BatchedExecutionEngine
 from repro.cpu.ops import Op, OpKind, TraceBuilder, array_to_ops, ops_to_array
@@ -46,7 +47,7 @@ from repro.workloads.synthetic import (
 from repro.workloads.trace import Trace
 
 #: Trace length for the differential runs: several vectorization chunks
-#: (CHUNK_OPS = 4096) so chunk-boundary handling is exercised.
+#: (CHUNK_OPS = 8192) so chunk-boundary handling is exercised.
 OPS = 20_000
 
 
@@ -170,6 +171,102 @@ class TestMechanismCoverage:
             quicksort_workload(seed=11),
             mechanism_factory=MECHANISMS[mechanism],
             interval_ops=1_500,
+        )
+
+
+def _run_engines(trace, mechanism_factory, **run_kwargs):
+    """Like :func:`run_both` but returns the engines for deep inspection."""
+    engines = []
+    for engine_cls in (ExecutionEngine, BatchedExecutionEngine):
+        engine = engine_cls(
+            config=setup_i(),
+            stack_range=trace.stack_range,
+            mechanism=mechanism_factory(),
+        )
+        engine.run(trace, **run_kwargs)
+        engines.append(engine)
+    return engines[0], engines[1]
+
+
+def _prosper_deep_state(engine) -> dict:
+    """Mechanism-internal state the top-level snapshot doesn't reach:
+    tracker table counters, raw bitmap words, MSR-visible low-water mark,
+    and the per-interval checkpoint traffic."""
+    mech = engine.mechanism
+    tracker = mech.tracker
+    return {
+        "table_stats": dataclasses.asdict(tracker.stats),
+        "table_entries": sorted(tracker.table.entries_snapshot()),
+        "bitmap_words": mech.bitmap.snapshot_words().tolist(),
+        "min_dirty_address": tracker.min_dirty_address,
+        "checkpoint_bytes": list(mech.stats.checkpoint_bytes),
+        "checkpoint_cycles": list(mech.stats.checkpoint_cycles),
+    }
+
+
+class TestBatchedHookDeepState:
+    """Batched-hook delivery must leave the *internal* Prosper machinery —
+    not just the top-level counters — byte-identical to per-op delivery,
+    across tracking granularities and both entry-allocation policies."""
+
+    GRANULARITIES = (8, 64, 512)
+    POLICIES = (
+        AllocationPolicy.ACCUMULATE_AND_APPLY,
+        AllocationPolicy.LOAD_AND_UPDATE,
+    )
+
+    @staticmethod
+    def _factory(granularity: int, policy: AllocationPolicy):
+        return lambda: ProsperPersistence(
+            TrackerConfig(granularity_bytes=granularity), policy=policy
+        )
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_tracker_and_checkpoint_state(self, granularity, policy):
+        trace = quicksort_workload(seed=13)
+        scalar, batched = _run_engines(
+            trace,
+            self._factory(granularity, policy),
+            interval_cycles=25_000,
+        )
+        assert _prosper_deep_state(batched) == _prosper_deep_state(scalar)
+        assert snapshot(batched, batched.stats) == snapshot(scalar, scalar.stats)
+
+    @pytest.mark.parametrize("policy", POLICIES, ids=lambda p: p.value)
+    @pytest.mark.parametrize("granularity", GRANULARITIES)
+    def test_mid_interval_state(self, granularity, policy):
+        # Without the final checkpoint the run ends mid-interval, so the
+        # lookup table still holds unflushed entries and the bitmap holds
+        # bits the OS has not consumed — the state the batched hooks build
+        # incrementally and must leave exactly as the scalar engine does.
+        trace = gapbs_pr(OPS, seed=13)
+        scalar, batched = _run_engines(
+            trace,
+            self._factory(granularity, policy),
+            interval_cycles=25_000,
+            final_checkpoint=False,
+        )
+        assert _prosper_deep_state(batched) == _prosper_deep_state(scalar)
+
+    @pytest.mark.parametrize("page_bytes", [512, 4096])
+    def test_dirtybit_page_sets(self, page_bytes):
+        # The page-grain baseline also batches; its dirty/mapped page sets
+        # and checkpoint traffic must match the scalar oracle too.
+        trace = quicksort_workload(seed=13)
+        scalar, batched = _run_engines(
+            trace,
+            lambda: DirtyBitPersistence(page_bytes=page_bytes),
+            interval_cycles=25_000,
+            final_checkpoint=False,
+        )
+        assert batched.mechanism._dirty_pages == scalar.mechanism._dirty_pages
+        assert batched.mechanism._mapped_pages == scalar.mechanism._mapped_pages
+        assert list(batched.mechanism.stats.checkpoint_bytes) == list(
+            scalar.mechanism.stats.checkpoint_bytes
+        )
+        assert list(batched.mechanism.stats.checkpoint_cycles) == list(
+            scalar.mechanism.stats.checkpoint_cycles
         )
 
 

@@ -1,10 +1,14 @@
 """Tests for repro.core.lookup_table: coalescing, HWM/LWM, eviction."""
 
+import dataclasses
+
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.config import TrackerConfig
 from repro.core.bitmap import DirtyBitmap
-from repro.core.lookup_table import LookupTable, popcount
+from repro.core.bitops import popcount_int, popcount_u32
+from repro.core.lookup_table import LookupTable, TableStats, popcount
 from repro.core.policies import AllocationPolicy
 from repro.memory.address import AddressRange
 
@@ -23,6 +27,15 @@ class TestPopcount:
         assert popcount(0) == 0
         assert popcount(0xFFFF_FFFF) == 32
         assert popcount(0b1010) == 2
+
+    def test_wrapper_matches_lut_helper(self):
+        for value in (0, 1, 0xFFFF, 0x1_0000, 0xDEAD_BEEF, (1 << 64) - 1):
+            assert popcount(value) == popcount_int(value) == bin(value).count("1")
+
+    def test_u32_array_helper(self):
+        words = np.array([0, 1, 0xFFFF_FFFF, 0x8000_0001, 0xA5A5_A5A5], dtype=np.uint32)
+        expected = [bin(int(w)).count("1") for w in words]
+        assert popcount_u32(words).tolist() == expected
 
 
 class TestCoalescing:
@@ -131,6 +144,157 @@ class TestLoadAndUpdatePolicy:
         assert not AllocationPolicy.ACCUMULATE_AND_APPLY.loads_on_allocation
         assert AllocationPolicy.LOAD_AND_UPDATE.loads_on_allocation
         assert not AllocationPolicy.LOAD_AND_UPDATE.loads_on_writeout
+
+
+def _full_state(table: LookupTable, bm: DirtyBitmap) -> dict:
+    """Everything observable about a table + bitmap pair."""
+    return {
+        "stats": dataclasses.asdict(table.stats),
+        "entries": sorted(table.entries_snapshot()),
+        "occupancy": len(table),
+        "words": bm.snapshot_words().tolist(),
+    }
+
+
+def _as_arrays(pairs):
+    words = np.array([w for w, _ in pairs], dtype=np.int64)
+    bits = np.array([b for _, b in pairs], dtype=np.int64)
+    return words, bits
+
+
+class TestRecordBatchCounters:
+    """Exact counter values through the columnar batch path — both the
+    array fast path and the order-exact sequential fallbacks."""
+
+    def test_fast_path_counts_hits_and_misses(self):
+        table, bm = make(entries=4, hwm=24)
+        words, bits = _as_arrays([(0, 0), (1, 3), (0, 1), (2, 9), (1, 3)])
+        ops = table.record_batch(words, bits, bm)
+        assert ops == 0  # accumulate-and-apply, nothing written out
+        s = table.stats
+        assert (s.misses, s.hits) == (3, 2)
+        assert s.hwm_writeouts == s.lwm_evictions == s.random_evictions == 0
+        assert len(table) == 3
+        assert bm.dirty_granule_count() == 0  # still coalescing
+
+    def test_fast_path_load_and_update_charges_allocation_loads(self):
+        table, bm = make(entries=4, policy=AllocationPolicy.LOAD_AND_UPDATE)
+        bm.store_word(1, 1 << 30)
+        words, bits = _as_arrays([(0, 0), (1, 2), (1, 4)])
+        ops = table.record_batch(words, bits, bm)
+        assert ops == 2  # one load per newly allocated word
+        assert table.stats.bitmap_loads == 2
+        # The pre-existing bit was merged at allocation time.
+        assert sorted(table.entries_snapshot()) == [
+            (0, 1),
+            (1, (1 << 30) | (1 << 2) | (1 << 4)),
+        ]
+
+    def test_hwm_crossing_falls_back_with_exact_counter(self):
+        table, bm = make(entries=4, hwm=4)
+        words, bits = _as_arrays([(0, b) for b in range(5)])
+        table.record_batch(words, bits, bm)
+        s = table.stats
+        # Sequential replay: the 4th bit crosses HWM and writes out, the
+        # 5th bit re-allocates the freed entry.
+        assert s.hwm_writeouts == 1
+        assert (s.misses, s.hits) == (2, 3)
+        assert popcount(bm.load_word(0)) == 4
+        assert sorted(table.entries_snapshot()) == [(0, 1 << 4)]
+
+    def test_overflow_falls_back_to_lwm_eviction(self):
+        table, bm = make(entries=2, hwm=32, lwm=8)
+        pairs = [(0, b) for b in range(5)] + [(1, b) for b in range(7)] + [(2, 0)]
+        table.record_batch(*_as_arrays(pairs), bm)
+        s = table.stats
+        assert s.lwm_evictions == 1
+        assert s.random_evictions == 0
+        assert popcount(bm.load_word(0)) == 5  # sparsest entry was evicted
+        assert bm.load_word(1) == 0
+
+    def test_overflow_falls_back_to_random_eviction(self):
+        table, bm = make(entries=2, hwm=32, lwm=2)
+        pairs = (
+            [(0, b) for b in range(10)]
+            + [(1, b) for b in range(10)]
+            + [(2, 0)]
+        )
+        table.record_batch(*_as_arrays(pairs), bm)
+        s = table.stats
+        assert s.random_evictions == 1
+        assert s.lwm_evictions == 0
+
+    def test_last_use_ordering_matches_sequential(self):
+        # After a batch, LWM eviction must pick the same stale victim a
+        # sequential history would — last_use is per final touch in the run.
+        pairs = [(0, 0), (1, 0), (0, 1)]  # word 1 now staler than word 0
+        table, bm = make(entries=2, hwm=32, lwm=8)
+        table.record_batch(*_as_arrays(pairs), bm)
+        table.record(2, 0, bm)  # forces an eviction: both entries are sparse
+        assert table.stats.lwm_evictions == 1
+        assert popcount(bm.load_word(1)) == 1  # word 1 (least recent) went
+        assert bm.load_word(0) == 0
+
+    def test_empty_batch_is_noop(self):
+        table, bm = make()
+        empty = np.empty(0, dtype=np.int64)
+        assert table.record_batch(empty, empty, bm) == 0
+        assert dataclasses.asdict(table.stats) == dataclasses.asdict(TableStats())
+
+
+class TestRecordBatchDifferential:
+    """record_batch must be indistinguishable from per-op record — stats,
+    entries, memory-op counts, and bitmap words — under table pressure."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 31)),
+            min_size=1,
+            max_size=200,
+        ),
+        st.sampled_from(list(AllocationPolicy)),
+    )
+    def test_batch_matches_sequential(self, records, policy):
+        seq_table, seq_bm = make(entries=4, hwm=6, lwm=3, policy=policy)
+        seq_ops = 0
+        for word, bit in records:
+            seq_ops += seq_table.record(word, bit, seq_bm)
+
+        bat_table, bat_bm = make(entries=4, hwm=6, lwm=3, policy=policy)
+        bat_ops = bat_table.record_batch(*_as_arrays(records), bat_bm)
+
+        assert bat_ops == seq_ops
+        assert _full_state(bat_table, bat_bm) == _full_state(seq_table, seq_bm)
+        assert bat_table.flush(bat_bm) == seq_table.flush(seq_bm)
+        assert _full_state(bat_table, bat_bm) == _full_state(seq_table, seq_bm)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 12), st.integers(0, 31)),
+            min_size=1,
+            max_size=120,
+        ),
+        st.integers(1, 17),
+        st.sampled_from(list(AllocationPolicy)),
+    )
+    def test_chunked_batches_match_one_batch(self, records, chunk, policy):
+        # Splitting a run across several record_batch calls (as the engine
+        # does at interval boundaries) must not change anything either.
+        whole_table, whole_bm = make(entries=4, hwm=6, lwm=3, policy=policy)
+        whole_ops = whole_table.record_batch(*_as_arrays(records), whole_bm)
+
+        split_table, split_bm = make(entries=4, hwm=6, lwm=3, policy=policy)
+        split_ops = 0
+        for start in range(0, len(records), chunk):
+            piece = records[start : start + chunk]
+            split_ops += split_table.record_batch(*_as_arrays(piece), split_bm)
+
+        assert split_ops == whole_ops
+        assert _full_state(split_table, split_bm) == _full_state(
+            whole_table, whole_bm
+        )
 
 
 class TestInvariants:
