@@ -10,6 +10,7 @@ Usage::
     python -m repro all --manifest run.jsonl --resume   # pick up where killed
     python -m repro fig10 --out results/ # also write the table to a file
     python -m repro faults sweep         # crash-consistency sweep (fault injection)
+    python -m repro faults fuzz --budget 256     # crash-schedule fuzzing (persist order)
     python -m repro faults sweep --multicore     # ctx-switch / barrier crash points
 
 Figures are decomposed into independent run units and executed by the
@@ -38,6 +39,13 @@ from repro.harness import (
     run_figures,
 )
 
+#: Shared exit-code convention for the fault-injection commands
+#: (``repro faults sweep`` and ``repro faults fuzz``), documented in
+#: docs/FAULTS.md: 0 = all invariants held, 1 = at least one violation,
+#: 2 = usage error (bad arguments).
+EXIT_OK = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
 #: POSIX convention: 128 + SIGINT.
 EXIT_INTERRUPTED = 130
 
@@ -125,7 +133,128 @@ def build_faults_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--cores", type=int, default=2, help="cores for the --multicore sweep"
     )
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="seeded crash-schedule fuzzing with a persist-order oracle "
+        "and golden-image recovery verification",
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="campaign seed")
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=256,
+        help="total schedules, split evenly across the mechanism x engine grid",
+    )
+    fuzz.add_argument(
+        "--mechanism",
+        action="append",
+        choices=["prosper", "dirtybit", "ssp", "flush", "undo", "redo"],
+        help="mechanism(s) to fuzz (repeatable; default: prosper, dirtybit)",
+    )
+    fuzz.add_argument(
+        "--engine",
+        action="append",
+        choices=["scalar", "batched"],
+        help="execution engine(s) to fuzz (repeatable; default: both)",
+    )
+    fuzz.add_argument("--ops", type=int, default=1200, help="trace length")
+    fuzz.add_argument(
+        "--intervals", type=int, default=4, help="checkpoint intervals per run"
+    )
+    fuzz.add_argument(
+        "--report", type=Path, default=None, help="write the JSON campaign report here"
+    )
+    fuzz.add_argument(
+        "--schedule",
+        type=int,
+        default=None,
+        help="replay only this schedule index per combo (reproducing a report line)",
+    )
+    fuzz.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip shrinking failing persist plans",
+    )
+    fuzz.add_argument(
+        "--weaken",
+        action="store_true",
+        help="enable the TEST-ONLY trust-completeness recovery mutant "
+        "(prosper); the campaign should then FAIL — demonstrates detection",
+    )
     return parser
+
+
+def _faults_fuzz_main(args) -> int:
+    import json
+
+    from repro.faults.fuzzer import FuzzConfig, run_campaign
+
+    try:
+        config = FuzzConfig(
+            seed=args.seed,
+            budget=args.budget,
+            mechanisms=tuple(args.mechanism or ("prosper", "dirtybit")),
+            engines=tuple(args.engine or ("scalar", "batched")),
+            ops=args.ops,
+            intervals=args.intervals,
+            weaken=args.weaken,
+            shrink=not args.no_shrink,
+            only_schedule=args.schedule,
+        )
+        report = run_campaign(config)
+    except ValueError as exc:
+        print(f"repro faults fuzz: error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    def cell(counts: dict, key: str) -> int:
+        return counts.get(key, 0)
+
+    print(render_table(
+        f"Crash-schedule fuzz campaign (seed {report['seed']}, "
+        f"{report['schedules']} schedules, {report['ops']} ops x "
+        f"{report['intervals']} intervals)",
+        ["mechanism", "engine", "schedules", "rolled fwd", "previous",
+         "fresh", "no crash", "violations"],
+        [
+            [
+                combo["mechanism"],
+                combo["engine"],
+                combo["schedules"],
+                cell(combo["classifications"], "rolled_forward"),
+                cell(combo["classifications"], "previous"),
+                cell(combo["classifications"], "fresh_start"),
+                cell(combo["classifications"], "no_crash"),
+                cell(combo["classifications"], "violation"),
+            ]
+            for combo in report["combos"]
+        ],
+    ))
+    print(
+        f"\n{report['schedules']} schedules: "
+        f"{len(report['violations'])} oracle violation(s)"
+    )
+    for violation in report["violations"]:
+        crash = violation["crash"]
+        where = (
+            f"cycle {crash['cycle']}"
+            if crash["kind"] == "cycle"
+            else f"{crash['point']}#{crash['occurrence']}"
+        )
+        print(
+            f"  VIOLATION {violation['mechanism']}/{violation['engine']} "
+            f"schedule {violation['index']} at {where}: {violation['detail']}"
+        )
+        if violation.get("shrunk_plan") is not None:
+            print(f"    minimal plan: {violation['shrunk_plan']}")
+        print(f"    reproduce: {violation['repro']}")
+
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nJSON report written to {args.report}")
+
+    return EXIT_OK if report["ok"] else EXIT_VIOLATIONS
 
 
 def _faults_main(argv: list[str]) -> int:
@@ -136,6 +265,8 @@ def _faults_main(argv: list[str]) -> int:
     )
 
     args = build_faults_parser().parse_args(argv)
+    if args.action == "fuzz":
+        return _faults_fuzz_main(args)
     try:
         checker = CrashConsistencyChecker(
             seed=args.seed,
@@ -146,7 +277,7 @@ def _faults_main(argv: list[str]) -> int:
         )
     except ValueError as exc:
         print(f"repro faults sweep: error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     report = checker.run()
     table, violation_lines = _render_sweep_report(
         report,
@@ -204,7 +335,7 @@ def _faults_main(argv: list[str]) -> int:
               "yes" if torn.state_ok else "NO"]],
         ))
         failed = failed or not retry.state_ok or not torn.state_ok or not torn.detected
-    return 1 if failed else 0
+    return EXIT_VIOLATIONS if failed else EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,7 +419,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for name in sorted(COMMANDS):
             print(name)
-        print("faults (subcommands: sweep)")
+        print("faults (subcommands: sweep, fuzz)")
         return 0
     if args.resume and args.manifest is None:
         print("repro: error: --resume requires --manifest", file=sys.stderr)

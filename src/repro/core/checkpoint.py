@@ -137,6 +137,10 @@ class StagedCheckpoint:
     committed: bool = False
     #: Walk bound saved for the deferred bitmap clear at commit time.
     active_low: int | None = None
+    #: Set when the persist-order model drops the staging descriptor: the
+    #: run count never landed, so recovery cannot tell complete from
+    #: partial and must discard.
+    descriptor_lost: bool = False
 
     @property
     def runs(self) -> list[DirtyRun]:
@@ -146,6 +150,8 @@ class StagedCheckpoint:
     @property
     def complete(self) -> bool:
         """True when every planned run reached the staging buffer."""
+        if self.descriptor_lost:
+            return False
         return len(self.staged_runs) == self.expected_runs
 
     def verify(self) -> bool:
@@ -165,10 +171,16 @@ class ProsperCheckpointEngine:
         injector: FaultInjector | None = None,
         content_reader: ContentReader | None = None,
         content_writer: ContentWriter | None = None,
+        label_prefix: str = "ckpt",
     ) -> None:
         self.tracker = tracker
         self.bitmap = bitmap
         self.hierarchy = hierarchy
+        #: Namespace for persist-order labels.  Callers owning several
+        #: engines against one NVM device (the kernel manager's per-thread
+        #: engines) must make it unique per engine, or concurrent stagings
+        #: of the same interval would collide in the oracle's pending set.
+        self.label_prefix = label_prefix
         #: Scale for fixed per-event costs under a compressed clock
         #: (see repro.experiments.runner); 1.0 = real latencies.
         self.fixed_scale = fixed_scale
@@ -181,10 +193,20 @@ class ProsperCheckpointEngine:
         #: staged-but-uncommitted checkpoint if any.
         self.last_committed_interval: int | None = None
         self.staged: StagedCheckpoint | None = None
+        #: TEST-ONLY protocol mutant: recovery trusts staging completeness
+        #: without re-checking the per-run CRCs.  A torn staged tail then
+        #: rolls forward silently — exactly the class of bug the persist-
+        #: order fuzzer exists to catch.  Never set outside tests.
+        self.unsafe_trust_completeness = False
 
     def _reached(self, point: str) -> None:
         if self.injector is not None:
             self.injector.reached(point)
+
+    def _oracle(self):
+        """The persist-order oracle on the NVM device, if one is attached."""
+        nvm = self.hierarchy.nvm
+        return nvm.order_oracle if nvm is not None else None
 
     # ------------------------------------------------------------------ #
     # Step one: stage dirty runs into the NVM staging buffer
@@ -235,12 +257,29 @@ class ProsperCheckpointEngine:
         # copied with its CRC.  The copies are pipelined: one fixed device
         # latency for the batch, plus bandwidth-limited streaming of the
         # bytes and a small software setup cost per run.
+        oracle = self._oracle()
+        if (
+            oracle is not None
+            and self.staged is not None
+            and self.staged.committed
+        ):
+            # Reusing the staging buffer overwrites the replay source of
+            # the previous checkpoint, so the OS flushes its still-pending
+            # commit marker first.  Zero cycles here: bulk staged traffic
+            # never sits in the demand write buffer.
+            oracle.barrier()
         self._reached(STAGE_BEGIN)
         num_runs = len(starts)
         staged = StagedCheckpoint(
             interval_index, expected_runs=num_runs, active_low=active_low
         )
         self.staged = staged
+        if oracle is not None:
+            oracle.record(
+                f"{self.label_prefix}[{interval_index}].descriptor",
+                undo=self._lose_descriptor(staged),
+                size=8,
+            )
         cycles += num_runs * PER_RUN_SETUP_CYCLES
         copied = int((ends - starts).sum())
         reader = self.content_reader
@@ -250,9 +289,15 @@ class ProsperCheckpointEngine:
             self._reached(stage_run_copy(index))
             run = DirtyRun(starts_list[index], ends_list[index])
             payload = tuple(reader(run)) if reader else ()
-            staged.staged_runs.append(
-                StagedRun(run, staged_run_crc(run, payload), payload)
-            )
+            staged_run = StagedRun(run, staged_run_crc(run, payload), payload)
+            staged.staged_runs.append(staged_run)
+            if oracle is not None:
+                oracle.record(
+                    f"{self.label_prefix}[{interval_index}].stage_run[{index}]",
+                    undo=self._lose_staged_run(staged, staged_run),
+                    tear=self._tear_staged_run(staged_run),
+                    size=run.size,
+                )
         retries = 0
         if copied:
             copy = self.hierarchy.reliable_copy_dram_to_nvm(
@@ -266,6 +311,32 @@ class ProsperCheckpointEngine:
                 self._tear(staged.staged_runs[-1])
         self._reached(STAGE_COMPLETE)
         return StageResult(cycles, copied, num_runs, words, retries)
+
+    # Undo/tear callbacks handed to the persist-order oracle.  Factory
+    # methods (not lambdas in the staging loop) so each closure binds its
+    # own run.
+    @staticmethod
+    def _lose_descriptor(staged: StagedCheckpoint):
+        def undo() -> None:
+            staged.descriptor_lost = True
+
+        return undo
+
+    @staticmethod
+    def _lose_staged_run(staged: StagedCheckpoint, staged_run: StagedRun):
+        def undo() -> None:
+            staged.staged_runs = [
+                s for s in staged.staged_runs if s is not staged_run
+            ]
+
+        return undo
+
+    @classmethod
+    def _tear_staged_run(cls, staged_run: StagedRun):
+        def tear() -> None:
+            cls._tear(staged_run)
+
+        return tear
 
     @staticmethod
     def _tear(staged_run: StagedRun) -> None:
@@ -289,7 +360,15 @@ class ProsperCheckpointEngine:
         return self._commit(self.staged)
 
     def _commit(self, staged: StagedCheckpoint) -> int:
-        """Apply the staged runs to the per-thread persistent stack in NVM."""
+        """Apply the staged runs to the per-thread persistent stack in NVM.
+
+        Persist-order discipline: the barrier retires the staged runs (and
+        descriptor) to guaranteed-durable *before* the commit marker is
+        issued, so the marker can never outlive the data it vouches for.
+        The marker itself stays pending until the next barrier — losing it
+        is always safe, because recovery replays the (durable) staging
+        buffer and lands on the same checkpoint.
+        """
         total = sum(run.size for run in staged.runs)
         cycles = 0
         if total:
@@ -302,8 +381,20 @@ class ProsperCheckpointEngine:
         if self.content_writer is not None:
             for staged_run in staged.staged_runs:
                 self.content_writer(staged_run)
+        previous = self.last_committed_interval
         staged.committed = True
         self.last_committed_interval = staged.interval_index
+        oracle = self._oracle()
+        if oracle is not None:
+            def undo_marker() -> None:
+                staged.committed = False
+                self.last_committed_interval = previous
+
+            oracle.record(
+                f"{self.label_prefix}[{staged.interval_index}].commit",
+                undo=undo_marker,
+                size=8,
+            )
         return cycles
 
     def finish_interval(self) -> int:
@@ -380,7 +471,12 @@ class ProsperCheckpointEngine:
         """
         if self.staged is None or self.staged.committed:
             return self.last_committed_interval
-        if not self.staged.verify():
+        valid = (
+            self.staged.complete
+            if self.unsafe_trust_completeness
+            else self.staged.verify()
+        )
+        if not valid:
             self.discard_staged()
             return self.last_committed_interval
         self._commit(self.staged)

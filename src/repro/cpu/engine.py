@@ -159,6 +159,11 @@ class ExecutionEngine:
     heap_range / heap_mechanism:
         Optional second protected region, used by the full-memory-state
         experiments (Figure 9).
+    fault_injector:
+        Optional :class:`~repro.faults.injector.FaultInjector`.  Attached
+        mechanisms pick it up for their named crash points, and the run
+        loop polls its cycle deadline after every op so power can fail at
+        an arbitrary cycle offset, not only at protocol steps.
     """
 
     def __init__(
@@ -169,6 +174,7 @@ class ExecutionEngine:
         heap_range: AddressRange | None = None,
         heap_mechanism: PersistenceMechanism | None = None,
         fixed_cost_scale: float = 1.0,
+        fault_injector=None,
     ) -> None:
         from repro.persistence.none import NoPersistence
 
@@ -182,6 +188,9 @@ class ExecutionEngine:
         self.heap_range = heap_range
         self.mechanism = mechanism or NoPersistence()
         self.heap_mechanism = heap_mechanism
+        #: Set before attach so mechanisms can thread it into their
+        #: checkpoint pipelines (named crash points).
+        self.fault_injector = fault_injector
 
         nvm_regions: list[AddressRange] = []
         if self.mechanism.region_in_nvm:
@@ -253,8 +262,11 @@ class ExecutionEngine:
         if periodic:
             self._start_interval()
 
+        injector = self.fault_injector
         for op in ops:
             self._execute(op)
+            if injector is not None:
+                injector.check_cycle(self.now)
             ops_in_interval += 1
             boundary = False
             if interval_ops is not None:

@@ -47,7 +47,7 @@ import numpy as np
 
 from repro.config import CACHE_LINE_BYTES
 from repro.cpu.engine import EngineStats, ExecutionEngine, trace_array
-from repro.cpu.ops import OpKind
+from repro.cpu.ops import OpKind, array_to_ops
 from repro.persistence.none import NoPersistence
 
 _READ = int(OpKind.READ)
@@ -77,6 +77,21 @@ class BatchedExecutionEngine(ExecutionEngine):
         interval_ops: int | None = None,
         final_checkpoint: bool = True,
     ) -> EngineStats:
+        if self._scalar_exact_required():
+            # Graceful degradation: an armed (or merely attached) fault
+            # injector and a persist-order oracle both need the per-op
+            # scalar path — its crash points, cycle-deadline polls, and
+            # write ordering are the semantics under test.  Delegating the
+            # whole run (rather than skipping hooks in vectorized chunks)
+            # guarantees the fired crash points and cycle counts are
+            # identical to the scalar engine by construction.
+            return ExecutionEngine.run(
+                self,
+                array_to_ops(trace_array(ops)),
+                interval_cycles,
+                interval_ops,
+                final_checkpoint,
+            )
         if interval_cycles < 0:
             raise ValueError("interval_cycles must be non-negative")
         if interval_ops is not None and interval_ops <= 0:
@@ -104,6 +119,13 @@ class BatchedExecutionEngine(ExecutionEngine):
         if periodic and final_checkpoint and ops_in_interval > 0:
             self._end_interval()
         return self.stats
+
+    def _scalar_exact_required(self) -> bool:
+        """True when fault machinery demands the exact scalar path."""
+        if self.fault_injector is not None:
+            return True
+        nvm = self.hierarchy.nvm
+        return nvm is not None and nvm.order_oracle is not None
 
     def _run_chunk(
         self,

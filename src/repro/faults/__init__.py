@@ -7,13 +7,20 @@ Three cooperating layers (see ``docs/FAULTS.md``):
 * :mod:`repro.faults.nvm_errors` — a seeded NVM media error model
   (transient failures, torn writes, sticky bad blocks) consulted by the
   device's reliable-write path;
+* :mod:`repro.faults.order` — the persist-order oracle: pending durable
+  writes become guaranteed-durable only at a flush/commit barrier, and a
+  crash may persist any subset of the pending set (torn tail optional);
 * :mod:`repro.faults.sweep` — the crash-consistency sweep harness that
-  crashes at every enumerated point and asserts the recovery invariant.
+  crashes at every enumerated point and asserts the recovery invariant;
+* :mod:`repro.faults.fuzzer` — seeded crash-schedule campaigns over
+  arbitrary-cycle crashes x sampled persist orders, verified against a
+  golden-image recovery oracle and shrunk on violation.
 
-``sweep`` is intentionally *not* imported here: it pulls in the kernel
-layer, which in turn reaches back down to :mod:`repro.memory.devices` —
-a module that imports this package for the error model.  Import it as
-``repro.faults.sweep`` directly.
+``sweep`` and ``fuzzer`` are intentionally *not* imported here: they pull
+in the kernel/engine layers, which in turn reach back down to
+:mod:`repro.memory.devices` — a module that imports this package for the
+error model and the order oracle.  Import them as ``repro.faults.sweep``
+/ ``repro.faults.fuzzer`` directly.
 """
 
 from repro.faults.injector import (
@@ -26,7 +33,15 @@ from repro.faults.injector import (
     STAGE_COMPLETE,
     CrashInjected,
     FaultInjector,
+    cycle_point,
+    is_cycle_point,
     stage_run_copy,
+)
+from repro.faults.order import (
+    CrashOutcome,
+    PendingWrite,
+    PersistOrderOracle,
+    PersistPlan,
 )
 from repro.faults.nvm_errors import (
     WRITE_BAD_BLOCK,
@@ -46,7 +61,13 @@ __all__ = [
     "STAGE_BEGIN",
     "STAGE_COMPLETE",
     "CrashInjected",
+    "CrashOutcome",
     "FaultInjector",
+    "PendingWrite",
+    "PersistOrderOracle",
+    "PersistPlan",
+    "cycle_point",
+    "is_cycle_point",
     "stage_run_copy",
     "WRITE_BAD_BLOCK",
     "WRITE_OK",

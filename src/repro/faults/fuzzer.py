@@ -1,0 +1,745 @@
+"""Crash-schedule fuzzer: randomized crashes judged by a golden image.
+
+The sweep (:mod:`repro.faults.sweep`) enumerates the *named* crash points
+of the kernel checkpoint pipeline under the neat everything-landed model.
+This module generalizes both axes at once:
+
+* **when** power fails — at an arbitrary *cycle* offset mid-interval
+  (:meth:`FaultInjector.arm_cycle`) or at any named protocol point, chosen
+  per schedule from a seeded RNG;
+* **what** survives — a :class:`~repro.faults.order.PersistPlan` sampled
+  from the persist-order oracle decides which writes still pending behind
+  the last barrier actually landed, with an optional torn tail.
+
+Every schedule is verified against a **golden image**: the execution
+engine's persistence mechanism is wrapped in a recorder that assigns each
+store a unique value into a DRAM :class:`~repro.memory.image.ByteImage`
+and snapshots that image at every interval boundary.  After the crash the
+DRAM image is discarded (power loss), recovery runs, and the durable NVM
+image must equal the snapshot of the checkpoint recovery claims to have
+resumed from — word for word, with no ghost words from a newer epoch.  A
+violation is shrunk to a minimal failing persist plan and reported with
+the exact command line that reproduces it.
+
+Mechanism coverage:
+
+* ``prosper`` and ``dirtybit`` stage real checksummed contents through
+  their two-step protocols — the full golden-image oracle applies;
+* ``ssp`` / ``flush`` / ``undo`` / ``redo`` persist in place with no
+  staged protocol; for them the fuzzer checks the weaker bookkeeping
+  oracle (interval-commit records are exactly-once and recovery resumes
+  from the newest durable one).
+
+Both engines are covered: arming a fault injector (or attaching the order
+oracle) forces :class:`~repro.cpu.engine_fast.BatchedExecutionEngine`
+through the exact scalar path, so a batched schedule is bit-identical to
+its scalar twin by construction — which is itself asserted by the tier-1
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.cpu.engine import ExecutionEngine
+from repro.cpu.engine_fast import BatchedExecutionEngine
+from repro.cpu.ops import Op, TraceBuilder, array_to_ops
+from repro.faults.injector import CrashInjected, FaultInjector, is_cycle_point
+from repro.faults.order import CrashOutcome, PersistOrderOracle, PersistPlan
+from repro.memory.address import AddressRange
+from repro.memory.image import WORD_BYTES, ByteImage
+from repro.persistence.base import IntervalContext, PersistenceMechanism
+from repro.persistence.dirtybit import DirtyBitPersistence
+from repro.persistence.logging import (
+    FlushPersistence,
+    RedoLogPersistence,
+    UndoLogPersistence,
+)
+from repro.persistence.prosper import ProsperPersistence
+from repro.persistence.ssp import SspPersistence
+
+#: Mechanisms with a staged-content checkpoint protocol: the full
+#: golden-image oracle (content equality + ghost-word detection) applies.
+CONTENT_MECHANISMS = ("prosper", "dirtybit")
+#: In-place mechanisms verified by the bookkeeping oracle only.
+INTERVAL_MECHANISMS = ("ssp", "flush", "undo", "redo")
+MECHANISMS = CONTENT_MECHANISMS + INTERVAL_MECHANISMS
+ENGINES = ("scalar", "batched")
+
+#: The workload keeps every store inside a window at the top of the stack
+#: while the SP (pushed below it by one large entry frame) wiggles
+#: underneath — so no store is ever clipped by SP awareness or popped,
+#: and the golden image covers the whole window at every snapshot.
+WINDOW_BYTES = 16 * 1024
+ENTRY_FRAME_BYTES = WINDOW_BYTES + 2048
+
+_STACK_RANGE = AddressRange(0x7000_0000, 0x7010_0000)
+
+
+def build_trace(seed: int, ops: int = 1200) -> list[Op]:
+    """Deterministic fuzz workload: window stores/loads, CALL/RET wiggle,
+    compute gaps.  Same (seed, ops) -> same trace, on any platform."""
+    rng = random.Random(f"fuzz-trace:{seed}")
+    tb = TraceBuilder()
+    window_base = _STACK_RANGE.end - WINDOW_BYTES
+    window_words = WINDOW_BYTES // WORD_BYTES
+    frames: list[int] = []
+    tb.call(ENTRY_FRAME_BYTES)
+    for _ in range(max(0, ops - 1)):
+        r = rng.random()
+        if r < 0.45:
+            tb.write(window_base + WORD_BYTES * rng.randrange(window_words))
+        elif r < 0.60:
+            tb.read(window_base + WORD_BYTES * rng.randrange(window_words))
+        elif r < 0.72 and len(frames) < 8:
+            frame = rng.choice((64, 128, 256))
+            frames.append(frame)
+            tb.call(frame)
+        elif r < 0.84 and frames:
+            tb.ret(frames.pop())
+        else:
+            tb.compute(rng.randrange(1, 30))
+    return array_to_ops(tb.to_array())
+
+
+# ---------------------------------------------------------------------- #
+# Golden-image recorder
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class IntervalSnapshot:
+    """The golden image at one interval boundary: what a checkpoint of
+    that interval must reproduce after recovery."""
+
+    image: ByteImage
+    final_sp: int
+
+
+class RecordingMechanism(PersistenceMechanism):
+    """Transparent wrapper that maintains the golden image.
+
+    Every store is assigned the next value of a monotonic counter and
+    written into the shared DRAM image *before* the inner mechanism's hook
+    runs; every interval boundary snapshots the image (before the inner
+    checkpoint reads it, which sees identical contents — no stores happen
+    in between).  Batching is disabled so store order and values are
+    exact; the fuzzer always runs the scalar path anyway.
+    """
+
+    def __init__(self, inner: PersistenceMechanism, dram: ByteImage) -> None:
+        super().__init__()
+        self.inner = inner
+        self.dram = dram
+        self.name = inner.name
+        self.region_in_nvm = inner.region_in_nvm
+        self.supports_batching = False
+        self.snapshots: list[IntervalSnapshot] = []
+        self._counter = 0
+
+    def attach(self, engine, region: AddressRange) -> None:
+        super().attach(engine, region)
+        self.inner.attach(engine, region)
+
+    def on_load(self, address: int, size: int, now: int) -> int:
+        return self.inner.on_load(address, size, now)
+
+    def on_store(self, address: int, size: int, now: int) -> int:
+        self._counter += 1
+        self.dram.write(address, self._counter)
+        return self.inner.on_store(address, size, now)
+
+    def on_interval_start(self, ctx: IntervalContext) -> int:
+        return self.inner.on_interval_start(ctx)
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        self.snapshots.append(IntervalSnapshot(self.dram.snapshot(), ctx.final_sp))
+        return self.inner.on_interval_end(ctx)
+
+    def persisted_state(self) -> dict:
+        return self.inner.persisted_state()
+
+
+class IntervalCommitRecorder(RecordingMechanism):
+    """Recorder for in-place mechanisms with no staged protocol of their
+    own: models "interval k is durable" as one commit record per interval,
+    registered with the persist-order oracle *after* the inner mechanism's
+    end-of-interval barrier — so it stays pending (losable) until the next
+    interval's barrier retires it, exactly like a commit marker."""
+
+    def __init__(
+        self,
+        inner: PersistenceMechanism,
+        dram: ByteImage,
+        oracle: PersistOrderOracle,
+    ) -> None:
+        super().__init__(inner, dram)
+        self.oracle = oracle
+        self.commits: list[int] = []
+
+    def on_interval_end(self, ctx: IntervalContext) -> int:
+        cycles = super().on_interval_end(ctx)
+        index = len(self.snapshots) - 1
+        self.commits.append(index)
+        self.oracle.record(
+            f"interval[{index}].commit",
+            undo=self._lose_commit(index),
+            size=8,
+        )
+        return cycles
+
+    def _lose_commit(self, index: int):
+        def undo() -> None:
+            if index in self.commits:
+                self.commits.remove(index)
+
+        return undo
+
+    def recover(self) -> int | None:
+        """Newest interval whose commit record survived."""
+        return self.commits[-1] if self.commits else None
+
+
+# ---------------------------------------------------------------------- #
+# Scenario assembly
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _FuzzSetup:
+    """One fully wired machine, ready to run a schedule."""
+
+    mechanism: str
+    engine_name: str
+    engine: ExecutionEngine
+    injector: FaultInjector
+    oracle: PersistOrderOracle
+    recorder: RecordingMechanism
+    inner: PersistenceMechanism
+    dram: ByteImage
+    durable: ByteImage | None  # persistent NVM contents (content mechs)
+
+    def recover(self) -> int | None:
+        if self.mechanism == "prosper":
+            return self.inner.checkpoint_engine.recover_staged()
+        if self.mechanism == "dirtybit":
+            return self.inner.recover_staged()
+        return self.recorder.recover()
+
+    def staged_checkpoint(self):
+        if self.mechanism == "prosper":
+            return self.inner.checkpoint_engine.staged
+        if self.mechanism == "dirtybit":
+            return self.inner.staged
+        return None
+
+
+def build_setup(
+    mechanism: str, engine_name: str, weaken: bool = False
+) -> _FuzzSetup:
+    """Wire one (mechanism, engine) machine with recorder, injector and
+    persist-order oracle attached.  *weaken* enables the test-only
+    trust-completeness recovery mutant (prosper only)."""
+    if mechanism not in MECHANISMS:
+        raise ValueError(f"unknown mechanism {mechanism!r}")
+    if engine_name not in ENGINES:
+        raise ValueError(f"unknown engine {engine_name!r}")
+    if weaken and mechanism != "prosper":
+        raise ValueError("the weakened recovery mutant is prosper-only")
+
+    dram = ByteImage()
+    durable: ByteImage | None = None
+    oracle = PersistOrderOracle()
+    if mechanism in CONTENT_MECHANISMS:
+        durable = ByteImage()
+
+        def reader(run):
+            return dram.words_in_range(AddressRange(run.start, run.end))
+
+        def writer(staged_run):
+            durable.replace_range(
+                AddressRange(staged_run.run.start, staged_run.run.end),
+                staged_run.payload,
+            )
+
+        if mechanism == "prosper":
+            inner: PersistenceMechanism = ProsperPersistence(
+                content_reader=reader, content_writer=writer
+            )
+        else:
+            inner = DirtyBitPersistence(
+                content_reader=reader, content_writer=writer
+            )
+        recorder = RecordingMechanism(inner, dram)
+    else:
+        inner = {
+            "ssp": SspPersistence,
+            "flush": FlushPersistence,
+            "undo": UndoLogPersistence,
+            "redo": RedoLogPersistence,
+        }[mechanism]()
+        recorder = IntervalCommitRecorder(inner, dram, oracle)
+
+    injector = FaultInjector()
+    engine_cls = ExecutionEngine if engine_name == "scalar" else BatchedExecutionEngine
+    engine = engine_cls(
+        stack_range=_STACK_RANGE, mechanism=recorder, fault_injector=injector
+    )
+    nvm = engine.hierarchy.nvm
+    if nvm is None:
+        raise RuntimeError("fuzzing requires a machine with an NVM device")
+    nvm.order_oracle = oracle
+    if weaken:
+        inner.checkpoint_engine.unsafe_trust_completeness = True
+    return _FuzzSetup(
+        mechanism, engine_name, engine, injector, oracle, recorder, inner,
+        dram, durable,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Schedules
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Where one schedule loses power: a cycle deadline or the N-th
+    occurrence of a named protocol point."""
+
+    kind: str  # "cycle" | "point"
+    cycle: int = 0
+    point: str = ""
+    occurrence: int = 0
+
+    def to_dict(self) -> dict:
+        if self.kind == "cycle":
+            return {"kind": "cycle", "cycle": self.cycle}
+        return {"kind": "point", "point": self.point, "occurrence": self.occurrence}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CrashSpec":
+        if data["kind"] == "cycle":
+            return cls("cycle", cycle=data["cycle"])
+        return cls("point", point=data["point"], occurrence=data.get("occurrence", 0))
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything one schedule did and whether it satisfied the oracle."""
+
+    index: int
+    mechanism: str
+    engine: str
+    spec: CrashSpec
+    crashed: bool
+    crash_point: str | None
+    plan: PersistPlan | None
+    applied: CrashOutcome | None
+    snapshots: int
+    resumed: int | None
+    expected: tuple
+    ok: bool
+    detail: str
+
+    @property
+    def classification(self) -> str:
+        if not self.crashed:
+            return "no_crash"
+        if not self.ok:
+            return "violation"
+        if self.resumed is None:
+            return "fresh_start"
+        if self.resumed == self.snapshots - 1:
+            return "rolled_forward"
+        return "previous"
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "mechanism": self.mechanism,
+            "engine": self.engine,
+            "crash": self.spec.to_dict(),
+            "crashed": self.crashed,
+            "crash_point": self.crash_point,
+            "plan": self.plan.to_dict() if self.plan is not None else None,
+            "applied": self.applied.to_dict() if self.applied is not None else None,
+            "snapshots": self.snapshots,
+            "resumed": self.resumed,
+            "expected": list(self.expected),
+            "classification": self.classification,
+            "ok": self.ok,
+            "detail": self.detail,
+        }
+
+
+def _legal_indices(snapshots: int, *candidates: int) -> tuple:
+    """Map candidate checkpoint indices to legal resume values; indices
+    below zero mean "nothing committed yet" and collapse to None."""
+    legal = []
+    for candidate in candidates:
+        value = candidate if candidate >= 0 else None
+        if value not in legal:
+            legal.append(value)
+    return tuple(legal)
+
+
+def run_schedule(
+    mechanism: str,
+    engine_name: str,
+    trace: list[Op],
+    interval_ops: int,
+    spec: CrashSpec,
+    index: int = 0,
+    plan_rng: random.Random | None = None,
+    forced_plan: PersistPlan | None = None,
+    weaken: bool = False,
+) -> ScheduleOutcome:
+    """Run one crash schedule end-to-end: execute, crash, resolve the
+    persist plan, recover, verify against the golden image."""
+    setup = build_setup(mechanism, engine_name, weaken=weaken)
+    if spec.kind == "cycle":
+        setup.injector.arm_cycle(spec.cycle)
+    else:
+        setup.injector.arm(spec.point, spec.occurrence)
+
+    crash: CrashInjected | None = None
+    try:
+        setup.engine.run(trace, interval_ops=interval_ops)
+    except CrashInjected as exc:
+        crash = exc
+
+    snapshots = len(setup.recorder.snapshots)
+    if crash is None:
+        return ScheduleOutcome(
+            index, mechanism, engine_name, spec,
+            crashed=False, crash_point=None, plan=None, applied=None,
+            snapshots=snapshots, resumed=None, expected=(),
+            ok=True, detail="crash never fired (deadline past end of trace)",
+        )
+
+    # Power fails now: resolve which pending writes landed, drop all
+    # volatile state, then recover from what is durably left.
+    if forced_plan is not None:
+        plan = forced_plan
+    else:
+        plan = setup.oracle.sample_plan(plan_rng or random.Random(0))
+    applied = setup.oracle.apply_plan(plan)
+    setup.injector.disarm()
+    setup.dram.clear()
+    resumed = setup.recover()
+
+    ok, expected, detail = _verify(setup, crash, resumed, snapshots)
+    return ScheduleOutcome(
+        index, mechanism, engine_name, spec,
+        crashed=True, crash_point=crash.point, plan=plan, applied=applied,
+        snapshots=snapshots, resumed=resumed, expected=expected,
+        ok=ok, detail=detail,
+    )
+
+
+def _verify(
+    setup: _FuzzSetup,
+    crash: CrashInjected,
+    resumed: int | None,
+    snapshots: int,
+) -> tuple[bool, tuple, str]:
+    """Judge one recovered machine.  Returns (ok, legal resumes, detail)."""
+    content = setup.mechanism in CONTENT_MECHANISMS
+    mid_interval = is_cycle_point(crash.point)
+
+    # Legality of the resume index.  The recorder snapshots *before* the
+    # inner checkpoint runs, so during checkpoint S-1's pipeline there are
+    # S snapshots: a named-point crash may resolve to S-1 (staging rolled
+    # forward) or S-2 (staging discarded).  A mid-interval crash over a
+    # staged protocol always resolves to S-1 — a dropped commit marker is
+    # masked by replaying the durable staging buffer.  Interval-commit
+    # mechanisms have no replay: their newest commit record stays
+    # droppable until the next barrier, so S-2 stays legal mid-interval.
+    if content and mid_interval:
+        expected = _legal_indices(snapshots, snapshots - 1)
+    else:
+        expected = _legal_indices(snapshots, snapshots - 1, snapshots - 2)
+
+    problems: list[str] = []
+    if resumed not in expected:
+        problems.append(
+            f"resumed from {resumed}, legal: {list(expected)}"
+        )
+
+    if content:
+        problems.extend(_verify_content(setup, resumed))
+        staged = setup.staged_checkpoint()
+        if (
+            staged is not None
+            and staged.committed
+            and staged.interval_index != resumed
+        ):
+            problems.append(
+                f"committed staging buffer says interval "
+                f"{staged.interval_index}, recovery says {resumed}"
+            )
+    else:
+        commits = setup.recorder.commits
+        if any(b <= a for a, b in zip(commits, commits[1:])):
+            problems.append(f"commit records not strictly increasing: {commits}")
+        if commits and resumed != commits[-1]:
+            problems.append(
+                f"resumed {resumed} but newest durable commit is {commits[-1]}"
+            )
+
+    if problems:
+        return False, expected, "; ".join(problems)
+    return True, expected, "recovered state matches the golden image"
+
+
+def _verify_content(setup: _FuzzSetup, resumed: int | None) -> list[str]:
+    """Golden-image comparison: the durable NVM contents must equal the
+    snapshot of the recovered checkpoint — no lost words, no ghosts."""
+    durable = setup.durable
+    assert durable is not None
+    if resumed is None:
+        stray = sum(1 for _ in durable.iter_words())
+        if stray:
+            return [
+                f"no checkpoint committed but durable image holds {stray} words"
+            ]
+        return []
+
+    snap = setup.recorder.snapshots[resumed]
+    problems: list[str] = []
+    golden = dict(snap.image.iter_words())
+    for address, value in sorted(golden.items()):
+        if address < snap.final_sp:
+            continue  # dead frames: legitimately dropped by SP awareness
+        got = durable.read(address, -1)
+        if got != value:
+            problems.append(
+                f"word {address:#x}: durable {got} != checkpointed {value}"
+            )
+            break
+    for address, value in sorted(durable.iter_words()):
+        if address >= snap.final_sp and address not in golden:
+            problems.append(
+                f"ghost word {address:#x}={value} in durable image "
+                f"(epoch blending)"
+            )
+            break
+    return problems
+
+
+# ---------------------------------------------------------------------- #
+# Shrinking
+# ---------------------------------------------------------------------- #
+
+
+def shrink_plan(
+    mechanism: str,
+    engine_name: str,
+    trace: list[Op],
+    interval_ops: int,
+    spec: CrashSpec,
+    plan: PersistPlan,
+    weaken: bool = False,
+) -> PersistPlan:
+    """Greedy ddmin-style reduction of a failing persist plan: drop the
+    torn tail, then each dropped write, keeping only what is needed for
+    the schedule to still violate the oracle.  Every candidate replays the
+    full schedule deterministically with the candidate plan forced."""
+
+    def still_fails(candidate: PersistPlan) -> bool:
+        outcome = run_schedule(
+            mechanism, engine_name, trace, interval_ops, spec,
+            forced_plan=candidate, weaken=weaken,
+        )
+        return outcome.crashed and not outcome.ok
+
+    current = plan
+    changed = True
+    while changed:
+        changed = False
+        if current.torn is not None:
+            candidate = PersistPlan(current.dropped, None)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+                continue
+        for label in sorted(current.dropped):
+            candidate = PersistPlan(current.dropped - {label}, current.torn)
+            if still_fails(candidate):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------- #
+# Campaigns
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class FuzzConfig:
+    """One fuzzing campaign: *budget* schedules split evenly across the
+    (mechanism, engine) grid, all derived from *seed*."""
+
+    seed: int = 0
+    budget: int = 256
+    mechanisms: tuple[str, ...] = CONTENT_MECHANISMS
+    engines: tuple[str, ...] = ENGINES
+    ops: int = 1200
+    intervals: int = 4
+    weaken: bool = False  # test-only recovery mutant (prosper)
+    shrink: bool = True
+    only_schedule: int | None = None  # replay a single schedule index
+
+
+def _probe(
+    mechanism: str, engine_name: str, trace: list[Op], interval_ops: int
+) -> tuple[int, list[str]]:
+    """Dry run with the injector attached but unarmed: yields the total
+    cycle count (the cycle-crash sample space) and every named point that
+    fired, in order (the point-crash sample space)."""
+    setup = build_setup(mechanism, engine_name)
+    setup.engine.run(trace, interval_ops=interval_ops)
+    return setup.engine.now, list(setup.injector.fired)
+
+
+def _point_family(point: str) -> str:
+    """Protocol-step family of a named point (``stage_run_copy[17]`` ->
+    ``stage_run_copy``)."""
+    return point.split("[", 1)[0]
+
+
+def _sample_spec(
+    rng: random.Random, total_cycles: int, fired: list[str]
+) -> CrashSpec:
+    """Pick where this schedule crashes: 50/50 between an arbitrary cycle
+    offset and a named protocol point (when the mechanism has any).
+
+    Point crashes sample the protocol-step *family* uniformly first, then
+    an occurrence within it — otherwise the many ``stage_run_copy[i]``
+    firings would drown out the rare steps (``stage_complete``,
+    ``persist_barrier``) where the most interesting pending sets live.
+    """
+    if fired and rng.random() < 0.5:
+        families = sorted({_point_family(p) for p in fired})
+        family = rng.choice(families)
+        members = [i for i, p in enumerate(fired) if _point_family(p) == family]
+        pick = rng.choice(members)
+        point = fired[pick]
+        occurrence = fired[:pick].count(point)
+        return CrashSpec("point", point=point, occurrence=occurrence)
+    return CrashSpec("cycle", cycle=rng.randint(1, max(1, total_cycles)))
+
+
+def _schedule_rng(config: FuzzConfig, mechanism: str, engine: str, index: int):
+    return random.Random(f"{config.seed}:{mechanism}:{engine}:{index}")
+
+
+def _plan_rng(config: FuzzConfig, mechanism: str, engine: str, index: int):
+    return random.Random(f"{config.seed}:{mechanism}:{engine}:{index}:plan")
+
+
+def repro_command(config: FuzzConfig, mechanism: str, engine: str, index: int) -> str:
+    """Exact CLI line that replays one schedule (see docs/FAULTS.md)."""
+    line = (
+        f"repro faults fuzz --seed {config.seed} --mechanism {mechanism} "
+        f"--engine {engine} --ops {config.ops} --intervals {config.intervals} "
+        f"--schedule {index}"
+    )
+    if config.weaken:
+        line += " --weaken"
+    return line
+
+
+def run_campaign(config: FuzzConfig) -> dict:
+    """Run the full campaign; returns the JSON-ready report."""
+    for mechanism in config.mechanisms:
+        if mechanism not in MECHANISMS:
+            raise ValueError(f"unknown mechanism {mechanism!r}")
+    for engine in config.engines:
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
+    if config.budget <= 0:
+        raise ValueError("budget must be positive")
+    if config.intervals <= 0:
+        raise ValueError("intervals must be positive")
+
+    trace = build_trace(config.seed, config.ops)
+    interval_ops = max(1, config.ops // config.intervals)
+    combos = [(m, e) for m in config.mechanisms for e in config.engines]
+    per_combo = max(1, config.budget // len(combos))
+
+    combo_reports: list[dict] = []
+    violations: list[dict] = []
+    total = 0
+    for mechanism, engine in combos:
+        total_cycles, fired = _probe(mechanism, engine, trace, interval_ops)
+        classifications: Counter[str] = Counter()
+        crash_kinds: Counter[str] = Counter()
+        plan_kinds: Counter[str] = Counter()
+        indices = (
+            range(per_combo)
+            if config.only_schedule is None
+            else [config.only_schedule]
+        )
+        for index in indices:
+            rng = _schedule_rng(config, mechanism, engine, index)
+            spec = _sample_spec(rng, total_cycles, fired)
+            outcome = run_schedule(
+                mechanism, engine, trace, interval_ops, spec,
+                index=index,
+                plan_rng=_plan_rng(config, mechanism, engine, index),
+                weaken=config.weaken,
+            )
+            total += 1
+            classifications[outcome.classification] += 1
+            if outcome.crashed:
+                crash_kinds[spec.kind] += 1
+                if outcome.plan is not None:
+                    if outcome.plan.is_neat:
+                        plan_kinds["neat"] += 1
+                    else:
+                        if outcome.plan.dropped:
+                            plan_kinds["dropped"] += 1
+                        if outcome.plan.torn is not None:
+                            plan_kinds["torn"] += 1
+            if outcome.crashed and not outcome.ok:
+                entry = outcome.to_dict()
+                if config.shrink and outcome.plan is not None:
+                    shrunk = shrink_plan(
+                        mechanism, engine, trace, interval_ops, spec,
+                        outcome.plan, weaken=config.weaken,
+                    )
+                    entry["shrunk_plan"] = shrunk.to_dict()
+                else:
+                    entry["shrunk_plan"] = None
+                entry["repro"] = repro_command(config, mechanism, engine, index)
+                violations.append(entry)
+        combo_reports.append(
+            {
+                "mechanism": mechanism,
+                "engine": engine,
+                "schedules": len(list(indices)) if config.only_schedule is not None else per_combo,
+                "probe_cycles": total_cycles,
+                "named_points": len(fired),
+                "classifications": dict(classifications),
+                "crash_kinds": dict(crash_kinds),
+                "plan_kinds": dict(plan_kinds),
+            }
+        )
+
+    return {
+        "seed": config.seed,
+        "budget": config.budget,
+        "ops": config.ops,
+        "intervals": config.intervals,
+        "weakened": config.weaken,
+        "schedules": total,
+        "combos": combo_reports,
+        "violations": violations,
+        "ok": not violations,
+    }

@@ -51,6 +51,18 @@ def stage_run_copy(index: int) -> str:
     return f"stage_run_copy[{index}]"
 
 
+def cycle_point(cycle: int) -> str:
+    """Synthetic crash-point name for a cycle-deadline crash (see
+    :meth:`FaultInjector.arm_cycle`)."""
+    return f"cycle[{cycle}]"
+
+
+def is_cycle_point(point: str) -> bool:
+    """True when *point* names a cycle-deadline crash rather than a named
+    checkpoint-pipeline step."""
+    return point.startswith("cycle[")
+
+
 #: The crash-point families, for documentation and CLI listings.
 CRASH_POINT_FAMILIES = (
     METADATA_WRITE,
@@ -101,6 +113,9 @@ class FaultInjector:
         self.seed = seed
         self.armed_point: str | None = None
         self.armed_occurrence: int = 0
+        #: Cycle deadline: the run loop crashes at the first op boundary at
+        #: or past this cycle count (armed via :meth:`arm_cycle`).
+        self.armed_cycle: int | None = None
         #: Every point fired, in order (the probe pass reads this).
         self.fired: list[str] = []
         self._counts: Counter[str] = Counter()
@@ -117,9 +132,36 @@ class FaultInjector:
         self.armed_point = point
         self.armed_occurrence = occurrence
 
+    def arm_cycle(self, cycle: int) -> None:
+        """Crash at the first op boundary where the clock reaches *cycle*.
+
+        Unlike :meth:`arm`, this models power dropping at an arbitrary
+        moment mid-interval rather than at a named protocol step.  The
+        execution engine polls :meth:`check_cycle` after every op; a
+        deadline landing inside interval-boundary checkpoint work fires at
+        the first op after it (the named points cover intra-checkpoint
+        crashes).
+        """
+        if cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        self.armed_cycle = cycle
+
     def disarm(self) -> None:
         """Clear the crash plan (recovery runs with the injector disarmed)."""
         self.armed_point = None
+        self.armed_cycle = None
+
+    @property
+    def is_armed(self) -> bool:
+        """True when either a named-point or a cycle crash is planned."""
+        return self.armed_point is not None or self.armed_cycle is not None
+
+    def check_cycle(self, now: int) -> None:
+        """Crash when the armed cycle deadline has been reached."""
+        armed = self.armed_cycle
+        if armed is not None and now >= armed:
+            self.armed_cycle = None
+            raise CrashInjected(cycle_point(armed), 0)
 
     def reached(self, point: str) -> None:
         """Record that the pipeline reached *point*; crash when armed for it."""

@@ -102,6 +102,44 @@ def _metadata_crc(record: ProcessCheckpoint) -> int:
     return zlib.crc32(payload.encode())
 
 
+def _safe_verify(staged) -> bool:
+    """Checksum a staging buffer, treating a record so mangled that the
+    verify itself fails as a failed checksum (recovery must degrade to
+    the previous checkpoint, never crash)."""
+    try:
+        return staged.verify()
+    except Exception:
+        return False
+
+
+def _lose_metadata(record: "ProcessCheckpoint"):
+    """Persist-order undo: the metadata record never reached the media."""
+
+    def undo() -> None:
+        record.metadata_crc = None
+
+    return undo
+
+
+def _tear_metadata(record: "ProcessCheckpoint"):
+    """Persist-order tear: the metadata line was cut mid-flight."""
+
+    def tear() -> None:
+        if record.metadata_crc is not None:
+            record.metadata_crc ^= TORN_METADATA_MASK
+
+    return tear
+
+
+def _lose_commit_flag(record: "ProcessCheckpoint"):
+    """Persist-order undo: the commit flag never flipped in NVM."""
+
+    def undo() -> None:
+        record.committed = False
+
+    return undo
+
+
 class CheckpointManager:
     """Drives periodic checkpoints of one process."""
 
@@ -135,6 +173,11 @@ class CheckpointManager:
         if self.injector is not None:
             self.injector.reached(point)
 
+    def _order_oracle(self):
+        """The persist-order oracle on the NVM device, if attached."""
+        nvm = self.hierarchy.nvm
+        return nvm.order_oracle if nvm is not None else None
+
     def _walk_bound(self, thread: Thread) -> int:
         """Lowest address whose bitmap words the OS must inspect/clear.
 
@@ -166,6 +209,10 @@ class CheckpointManager:
                 injector=self.injector,
                 content_reader=reader,
                 content_writer=writer,
+                # Per-thread namespace: several engines share one NVM
+                # device, and persist-order labels must not collide when
+                # two threads stage the same checkpoint sequence.
+                label_prefix=f"t{thread.tid}.ckpt",
             )
             self._engines[thread.tid] = engine
         return engine
@@ -239,6 +286,14 @@ class CheckpointManager:
         )
         if torn:
             record.metadata_crc ^= TORN_METADATA_MASK
+        oracle = self._order_oracle()
+        if oracle is not None:
+            oracle.record(
+                f"proc[{record.sequence}].metadata",
+                undo=_lose_metadata(record),
+                tear=_tear_metadata(record),
+                size=METADATA_BYTES,
+            )
 
         # Step 2 — stage every tracked thread before committing anything.
         engines: list[ProsperCheckpointEngine] = []
@@ -265,12 +320,29 @@ class CheckpointManager:
         if crash_during_commit:
             return record, cycles
 
+        # Persist-order discipline: the metadata record and every thread's
+        # staged runs must be guaranteed durable *before* the commit flag
+        # can flip — otherwise a power failure could persist the flag while
+        # the data it vouches for is still sitting in the write queue, and
+        # recovery would roll forward a checkpoint that never fully landed.
+        cycles += self.hierarchy.persist_barrier()
+
         # Step 3 — flip the commit record (a small ordered NVM write).
         self._reached(COMMIT_FLAG_WRITE)
         if self.hierarchy.nvm is not None:
             cycles += self.hierarchy.nvm.write(8, self.hierarchy.now)
-            cycles += self.hierarchy.persist_barrier()
         record.committed = True
+        oracle = self._order_oracle()
+        if oracle is not None:
+            oracle.record(
+                f"proc[{record.sequence}].commit",
+                undo=_lose_commit_flag(record),
+                size=8,
+            )
+        if self.hierarchy.nvm is not None:
+            # The flag is explicitly ordered: write + sfence, so it is
+            # durable before the staged data is applied in step 4.
+            cycles += self.hierarchy.persist_barrier()
 
         # Steps 4–5 — apply staged runs to the persistent stacks, clear
         # consumed bitmap words.  The flag already flipped: a crash in here
@@ -349,7 +421,7 @@ class CheckpointManager:
         ]
         if not pending:
             return 0
-        ok = all(engine.staged.verify() for engine in pending)
+        ok = all(_safe_verify(engine.staged) for engine in pending)
         if ok:
             for sequence in {engine.staged.interval_index for engine in pending}:
                 record = self._record_for(sequence)

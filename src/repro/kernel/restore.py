@@ -22,6 +22,7 @@ what state was restored, which the integration tests assert on.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 from repro.kernel.checkpoint_mgr import CheckpointManager, ProcessCheckpoint
@@ -61,13 +62,26 @@ class CrashSimulator:
         self.nvm_images = nvm_images if nvm_images is not None else manager.nvm_images
         self.crashed = False
 
-    def crash(self) -> None:
+    def crash(self, order_oracle=None, plan=None, rng=None) -> None:
         """Drop all volatile state.
 
         Register files are zeroed, dirty bitmaps cleared, and the DRAM stack
         images emptied — they lived in DRAM/core.  NVM-resident checkpoint
         records in the manager (and the persistent NVM images) survive.
+
+        When a persist-order *order_oracle* (:mod:`repro.faults.order`) is
+        given, power loss also resolves the writes still pending behind the
+        last persist barrier: a *plan* (or one sampled from *rng*) decides
+        which of them actually landed — any subset, with an optional torn
+        tail — instead of the neat everything-landed assumption.  Recovery
+        then sees exactly the durable state a real power cut would leave.
         """
+        if order_oracle is not None:
+            if plan is None:
+                plan = order_oracle.sample_plan(
+                    rng if rng is not None else random.Random(0)
+                )
+            order_oracle.apply_plan(plan)
         self.crashed = True
         for thread in self.process.iter_threads():
             thread.registers.stack_pointer = 0
@@ -94,9 +108,15 @@ class CrashSimulator:
             if record.committed:
                 candidate = record
                 break
-            if record.verify_metadata() and self.manager.staging_complete_for(
-                record
-            ):
+            # A corrupt record (torn metadata, mangled staging) must
+            # degrade to "previous checkpoint wins", never crash recovery.
+            try:
+                promotable = record.verify_metadata() and (
+                    self.manager.staging_complete_for(record)
+                )
+            except Exception:
+                promotable = False
+            if promotable:
                 # Every thread's staging for this record is complete in NVM
                 # and has been applied: finishing the commit is safe.  A
                 # record that fails either test is skipped — the previous

@@ -208,6 +208,11 @@ class NvmDevice(MemoryDevice):
         #: Optional media fault oracle; None = perfect media (the default,
         #: preserving the timing behaviour every experiment was built on).
         self.error_model = error_model
+        #: Optional persist-order oracle (:mod:`repro.faults.order`); when
+        #: attached, demand writes are noted for accounting and every
+        #: persist barrier retires the oracle's pending set to
+        #: guaranteed-durable.  None (the default) changes nothing.
+        self.order_oracle = None
         #: Lifetime accounting of the reliable-write path.
         self.retry_count_total = 0
         self.torn_writes_total = 0
@@ -222,6 +227,8 @@ class NvmDevice(MemoryDevice):
         """
         self.stats.writes += 1
         self.stats.write_bytes += size
+        if self.order_oracle is not None:
+            self.order_oracle.note_write(size)
         stall = self._write_buffer.push(now)
         # Entering the buffer is fast; the visible cost is buffer admission
         # plus any stall.  A small constant admission cost stands in for the
@@ -230,7 +237,14 @@ class NvmDevice(MemoryDevice):
         return admission + stall
 
     def persist_barrier(self, now: int = 0) -> int:
-        """Cycles to drain the write buffer (sfence + pending persists)."""
+        """Cycles to drain the write buffer (sfence + pending persists).
+
+        A barrier is also the durability point of the persist-order model:
+        an attached order oracle retires its pending writes here, whether
+        or not the timing-level write buffer happens to be occupied.
+        """
+        if self.order_oracle is not None:
+            self.order_oracle.barrier()
         buf = self._write_buffer
         if buf.occupancy == 0:
             return 0

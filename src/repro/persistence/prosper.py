@@ -51,6 +51,8 @@ class ProsperPersistence(PersistenceMechanism):
         policy: AllocationPolicy = AllocationPolicy.ACCUMULATE_AND_APPLY,
         bitmap_base: int = 0x6000_0000,
         seed: int = 0xC0FFEE,
+        content_reader=None,
+        content_writer=None,
     ) -> None:
         super().__init__()
         self.tracker_config = tracker_config or TrackerConfig()
@@ -59,6 +61,13 @@ class ProsperPersistence(PersistenceMechanism):
         self.tracker = ProsperTracker(self.tracker_config, policy, seed)
         self.bitmap: DirtyBitmap | None = None
         self.checkpoint_engine: ProsperCheckpointEngine | None = None
+        #: Optional actual-contents hooks (see repro.core.checkpoint):
+        #: when set, staged runs carry real checksummed payloads and
+        #: commits apply them to a persistent image — the crash-schedule
+        #: fuzzer's golden-image substrate.  None keeps the timing-only
+        #: model every experiment uses.
+        self.content_reader = content_reader
+        self.content_writer = content_writer
 
     @property
     def granularity(self) -> int:
@@ -77,6 +86,9 @@ class ProsperPersistence(PersistenceMechanism):
         self.checkpoint_engine = ProsperCheckpointEngine(
             self.tracker, self.bitmap, engine.hierarchy,
             fixed_scale=engine.fixed_cost_scale,
+            injector=getattr(engine, "fault_injector", None),
+            content_reader=self.content_reader,
+            content_writer=self.content_writer,
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,173 @@
+"""Tests for the persist-order model: the oracle state machine, its wiring
+into the NVM device's barrier, and cycle-deadline crash arming."""
+
+import random
+
+import pytest
+
+from repro.config import setup_i
+from repro.faults.injector import (
+    CrashInjected,
+    FaultInjector,
+    cycle_point,
+    is_cycle_point,
+)
+from repro.faults.order import (
+    DROP_PROBABILITIES,
+    CrashOutcome,
+    PersistOrderOracle,
+    PersistPlan,
+)
+from repro.memory.hierarchy import MemoryHierarchy
+
+
+class TestPersistOrderOracle:
+    def test_record_then_barrier_retires(self):
+        oracle = PersistOrderOracle()
+        oracle.record("a", undo=lambda: None)
+        oracle.record("b")
+        assert oracle.pending_labels() == ["a", "b"]
+        oracle.barrier()
+        assert oracle.pending_labels() == []
+        assert oracle.retired_total == 2
+        assert oracle.barriers == 1
+
+    def test_duplicate_pending_label_rejected(self):
+        oracle = PersistOrderOracle()
+        oracle.record("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            oracle.record("a")
+        # After a barrier the label may be reused (new epoch).
+        oracle.barrier()
+        oracle.record("a")
+
+    def test_note_write_is_statistics_only(self):
+        oracle = PersistOrderOracle()
+        oracle.note_write(64)
+        oracle.note_write(8)
+        assert oracle.writes_noted == 2
+        assert oracle.bytes_noted == 72
+        assert oracle.pending_labels() == []
+
+    def test_sample_plan_only_drops_undoable(self):
+        oracle = PersistOrderOracle()
+        oracle.record("fixed")  # no undo: must never be dropped
+        oracle.record("loose", undo=lambda: None)
+        rng = random.Random(0)
+        for _ in range(200):
+            plan = oracle.sample_plan(rng)
+            assert "fixed" not in plan.dropped
+
+    def test_sample_plan_tears_only_tearable(self):
+        oracle = PersistOrderOracle()
+        oracle.record("plain", undo=lambda: None)
+        oracle.record("content", undo=lambda: None, tear=lambda: None)
+        rng = random.Random(1)
+        torn = set()
+        for _ in range(200):
+            plan = oracle.sample_plan(rng)
+            if plan.torn is not None:
+                torn.add(plan.torn)
+        assert torn == {"content"}
+
+    def test_sample_plan_empty_pending_is_neat(self):
+        oracle = PersistOrderOracle()
+        plan = oracle.sample_plan(random.Random(0))
+        assert plan.is_neat
+
+    def test_sample_plan_deterministic_given_rng(self):
+        def build():
+            oracle = PersistOrderOracle()
+            for i in range(6):
+                oracle.record(f"w{i}", undo=lambda: None, tear=lambda: None)
+            return oracle
+
+        plans_a = [build().sample_plan(random.Random(s)) for s in range(20)]
+        plans_b = [build().sample_plan(random.Random(s)) for s in range(20)]
+        assert plans_a == plans_b
+        # The probability mix actually exercises drops.
+        assert any(p.dropped for p in plans_a)
+        assert 0.0 in DROP_PROBABILITIES  # the neat model stays in the mix
+
+    def test_apply_plan_runs_undo_and_tear(self):
+        oracle = PersistOrderOracle()
+        events = []
+        oracle.record("a", undo=lambda: events.append("undo-a"))
+        oracle.record("b", undo=lambda: None, tear=lambda: events.append("tear-b"))
+        outcome = oracle.apply_plan(PersistPlan(frozenset({"a"}), "b"))
+        assert isinstance(outcome, CrashOutcome)
+        assert events == ["undo-a", "tear-b"]
+        assert outcome.dropped == ["a"]
+        assert outcome.torn == "b"
+        assert outcome.pending == ["a", "b"]
+        assert oracle.pending_labels() == []  # nothing in flight after a crash
+
+    def test_apply_plan_rejects_undroppable(self):
+        oracle = PersistOrderOracle()
+        oracle.record("fixed")
+        with pytest.raises(ValueError, match="cannot be dropped"):
+            oracle.apply_plan(PersistPlan(frozenset({"fixed"}), None))
+
+    def test_apply_plan_ignores_labels_not_pending(self):
+        oracle = PersistOrderOracle()
+        oracle.record("a", undo=lambda: None)
+        outcome = oracle.apply_plan(PersistPlan(frozenset({"ghost"}), None))
+        assert outcome.dropped == []
+
+    def test_plan_round_trips_through_dict(self):
+        plan = PersistPlan(frozenset({"x", "y"}), "z")
+        assert PersistPlan.from_dict(plan.to_dict()) == plan
+        assert PersistPlan.from_dict(PersistPlan().to_dict()).is_neat
+
+
+class TestDeviceIntegration:
+    def test_nvm_write_notes_and_barrier_retires(self):
+        hierarchy = MemoryHierarchy(setup_i())
+        oracle = PersistOrderOracle()
+        hierarchy.nvm.order_oracle = oracle
+        oracle.record("marker", undo=lambda: None)
+        hierarchy.nvm.write(8, now=0)
+        assert oracle.writes_noted == 1
+        hierarchy.persist_barrier()
+        assert oracle.pending_labels() == []
+
+    def test_barrier_retires_even_with_empty_write_buffer(self):
+        # The barrier is the durability point of the model whether or not
+        # the timing-level buffer happens to hold anything.
+        hierarchy = MemoryHierarchy(setup_i())
+        oracle = PersistOrderOracle()
+        hierarchy.nvm.order_oracle = oracle
+        oracle.record("marker", undo=lambda: None)
+        assert hierarchy.persist_barrier() == 0
+        assert oracle.pending_labels() == []
+
+
+class TestCycleArming:
+    def test_cycle_point_names(self):
+        assert cycle_point(42) == "cycle[42]"
+        assert is_cycle_point("cycle[42]")
+        assert not is_cycle_point("stage_complete")
+
+    def test_arm_cycle_fires_at_deadline(self):
+        injector = FaultInjector()
+        injector.arm_cycle(100)
+        assert injector.is_armed
+        injector.check_cycle(99)  # not yet
+        with pytest.raises(CrashInjected) as exc:
+            injector.check_cycle(100)
+        assert exc.value.point == "cycle[100]"
+        # One-shot: the deadline cleared itself.
+        injector.check_cycle(200)
+
+    def test_disarm_clears_both_modes(self):
+        injector = FaultInjector()
+        injector.arm("stage_begin", 0)
+        injector.arm_cycle(5)
+        injector.disarm()
+        assert not injector.is_armed
+        injector.check_cycle(10)
+        injector.reached("stage_begin")
+
+    def test_arm_cycle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm_cycle(-1)
